@@ -1,0 +1,171 @@
+// bench_algorithms — experiment A6: the end-to-end algorithm suite (SSSP,
+// BFS, PageRank, connected components, triangle counting) across the four
+// generator families, parallel framework vs serial textbook baseline.
+//
+// Expected shape: the framework's parallel variants track their baselines'
+// asymptotics per family (traversals scale with diameter on meshes, with
+// edges on skewed graphs); speedups over the serial baseline require real
+// cores (flat on this 1-core container — see DESIGN.md caveat).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/msbfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/triangle_counting.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+namespace {
+
+struct workload_t {
+  std::string name;
+  e::graph::graph_full directed;    // as generated
+  e::graph::graph_full undirected;  // symmetrized (for CC/TC)
+};
+
+workload_t make(std::string name, e::graph::coo_t<> coo) {
+  e::graph::remove_self_loops(coo);
+  auto undirected_coo = coo;
+  e::graph::symmetrize(undirected_coo);
+  return {std::move(name),
+          e::graph::from_coo<e::graph::graph_full>(
+              std::move(coo), e::graph::duplicate_policy::keep_min),
+          e::graph::from_coo<e::graph::graph_full>(
+              std::move(undirected_coo), e::graph::duplicate_policy::keep_min)};
+}
+
+std::vector<workload_t> const& workloads() {
+  static auto const w = [] {
+    std::vector<workload_t> ws;
+    e::generators::rmat_options rm;
+    rm.scale = 12;
+    rm.edge_factor = 8;
+    rm.weights = {1.0f, 4.0f};
+    ws.push_back(make("rmat", e::generators::rmat(rm)));
+    ws.push_back(make("erdos", e::generators::erdos_renyi(
+                                   4096, 4096 * 8, {1.0f, 4.0f}, 2)));
+    ws.push_back(make("grid", e::generators::grid_2d(64, 64, {1.0f, 4.0f})));
+    ws.push_back(
+        make("smallworld", e::generators::watts_strogatz(4096, 4, 0.1,
+                                                         {1.0f, 4.0f}, 3)));
+    return ws;
+  }();
+  return w;
+}
+
+#define WORKLOAD_BENCH(fn)                                        \
+  BENCHMARK(fn)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+
+void BM_SsspFramework(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::sssp(e::execution::par, w.directed, 0).distances.data());
+  state.SetLabel(w.name);
+}
+
+void BM_SsspDijkstraBaseline(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::dijkstra(w.directed, 0).distances.data());
+  state.SetLabel(w.name);
+}
+
+void BM_BfsFramework(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::bfs(e::execution::par, w.directed, 0).depths.data());
+  state.SetLabel(w.name);
+}
+
+void BM_BfsSerialBaseline(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::bfs_serial(w.directed, 0).depths.data());
+  state.SetLabel(w.name);
+}
+
+void BM_PagerankFramework(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  e::algorithms::pagerank_options opt;
+  opt.max_iterations = 20;
+  opt.tolerance = 0.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::pagerank(e::execution::par, w.directed, opt)
+            .ranks.data());
+  state.SetLabel(w.name);
+}
+
+void BM_ConnectedComponentsFramework(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::connected_components(e::execution::par, w.undirected)
+            .labels.data());
+  state.SetLabel(w.name);
+}
+
+void BM_ConnectedComponentsUnionFindBaseline(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::connected_components_serial(w.undirected)
+            .labels.data());
+  state.SetLabel(w.name);
+}
+
+void BM_TriangleCountFramework(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::triangle_count(e::execution::par, w.undirected));
+  state.SetLabel(w.name);
+}
+
+WORKLOAD_BENCH(BM_SsspFramework);
+WORKLOAD_BENCH(BM_SsspDijkstraBaseline);
+WORKLOAD_BENCH(BM_BfsFramework);
+WORKLOAD_BENCH(BM_BfsSerialBaseline);
+WORKLOAD_BENCH(BM_PagerankFramework);
+WORKLOAD_BENCH(BM_ConnectedComponentsFramework);
+WORKLOAD_BENCH(BM_ConnectedComponentsUnionFindBaseline);
+WORKLOAD_BENCH(BM_TriangleCountFramework);
+
+void BM_MultiSourceBfs64(benchmark::State& state) {
+  // Bit-parallel 64-source BFS vs 64 sequential single-source runs — the
+  // amortization ablation.
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  std::vector<e::vertex_t> sources;
+  for (e::vertex_t s = 0; s < 64; ++s)
+    sources.push_back(s);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::multi_source_bfs(e::execution::par, w.directed,
+                                        sources)
+            .depth.data());
+  state.SetLabel(w.name + " 64 lanes, one sweep");
+}
+
+void BM_SixtyFourSeparateBfs(benchmark::State& state) {
+  auto const& w = workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    for (e::vertex_t s = 0; s < 64; ++s)
+      benchmark::DoNotOptimize(
+          e::algorithms::bfs(e::execution::par, w.directed, s).depths.data());
+  }
+  state.SetLabel(w.name + " 64 separate runs");
+}
+
+WORKLOAD_BENCH(BM_MultiSourceBfs64);
+WORKLOAD_BENCH(BM_SixtyFourSeparateBfs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// bench_frontiers — experiment A2 (paper §III-B): the same frontier
+// interface over different underlying representations, swept over active
+// set sizes.
+//
+// Measured: (a) build + iterate cost of sparse (vector) vs dense (bitmap)
+// vs async-queue frontiers at |F| from 2^6 to 2^20 over a 2^20 universe;
+// (b) one shared-memory advance step vs one message-passing exchange of
+// the same active set.
+//
+// Expected shape: sparse wins while |F| << universe (cost ∝ |F|); the
+// bitmap's O(universe/64) scan makes it competitive only once the frontier
+// is a sizable fraction of the universe — and its O(1) membership is what
+// pull traversal buys with it.  The queue pays per-element synchronization,
+// and message passing pays per-superstep message assembly on top.
+#include <benchmark/benchmark.h>
+
+#include "core/frontier/frontier.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace fr = e::frontier;
+
+namespace {
+
+constexpr std::size_t kUniverse = 1u << 20;
+
+std::vector<e::vertex_t> make_active(std::size_t count) {
+  // Spread evenly over the universe so bitmap word occupancy is realistic.
+  std::vector<e::vertex_t> v;
+  v.reserve(count);
+  std::size_t const stride = kUniverse / count;
+  for (std::size_t i = 0; i < count; ++i)
+    v.push_back(static_cast<e::vertex_t>(i * stride));
+  return v;
+}
+
+void BM_SparseFrontierBuildIterate(benchmark::State& state) {
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fr::sparse_frontier<e::vertex_t> f;
+    f.reserve(active.size());
+    for (auto const v : active)
+      f.add_vertex(v);
+    long long sum = 0;
+    f.for_each_active([&sum](e::vertex_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(active.size()));
+}
+
+void BM_DenseFrontierBuildIterate(benchmark::State& state) {
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fr::dense_frontier<e::vertex_t> f(kUniverse);
+    for (auto const v : active)
+      f.add_vertex(v);
+    long long sum = 0;
+    f.for_each_active([&sum](e::vertex_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(active.size()));
+}
+
+void BM_QueueFrontierProduceConsume(benchmark::State& state) {
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fr::async_queue_frontier<e::vertex_t> f;
+    for (auto const v : active)
+      f.add_vertex(v);
+    long long sum = 0;
+    e::vertex_t v;
+    while (f.pop_vertex(v)) {
+      sum += v;
+      f.finish_vertex();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(active.size()));
+}
+
+void BM_DenseMembershipQueries(benchmark::State& state) {
+  // The query pull traversals hammer — dense O(1) vs sparse O(|F|).
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  fr::dense_frontier<e::vertex_t> f(kUniverse);
+  for (auto const v : active)
+    f.add_vertex(v);
+  for (auto _ : state) {
+    long long hits = 0;
+    for (e::vertex_t q = 0; q < 4096; ++q)
+      hits += f.contains(q * 128);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_SharedMemoryFrontierHandoff(benchmark::State& state) {
+  // Shared memory: the "communication" between supersteps is a pointer
+  // swap of the frontier storage.
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fr::sparse_frontier<e::vertex_t> current(active), next;
+    swap(current, next);
+    benchmark::DoNotOptimize(next.size());
+  }
+}
+
+void BM_MessagePassingFrontierExchange(benchmark::State& state) {
+  // Message passing: the same active set crosses a superstep boundary as
+  // mailbox messages between 4 ranks (one exchange per iteration).
+  auto const active = make_active(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    e::mpsim::communicator::run(4, [&active](e::mpsim::communicator& comm,
+                                             int rank) {
+      fr::distributed_frontier<e::vertex_t> f(
+          comm, rank, [](e::vertex_t v) { return static_cast<int>(v % 4); });
+      // Rank r contributes its quarter of the active set.
+      for (std::size_t i = static_cast<std::size_t>(rank);
+           i < active.size(); i += 4)
+        f.add_vertex(active[i]);
+      benchmark::DoNotOptimize(f.exchange(0));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(active.size()));
+}
+
+BENCHMARK(BM_SparseFrontierBuildIterate)->RangeMultiplier(16)->Range(64, 1 << 20);
+BENCHMARK(BM_DenseFrontierBuildIterate)->RangeMultiplier(16)->Range(64, 1 << 20);
+BENCHMARK(BM_QueueFrontierProduceConsume)->RangeMultiplier(16)->Range(64, 1 << 16);
+BENCHMARK(BM_DenseMembershipQueries)->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK(BM_SharedMemoryFrontierHandoff)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_MessagePassingFrontierExchange)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// bench_operators — operator-level ablations of the design choices
+// DESIGN.md calls out, anchored on paper Listing 3:
+//
+//  - per-discovery mutex (the literal Listing 3 formulation) vs lane-local
+//    buffers with bulk publication (our default) — what CP.43-style short
+//    critical sections buy inside an advance;
+//  - uniquify by sort vs by claim-bitmap — the frontier-dedup strategy
+//    trade (O(F log F) comparison sort vs O(F) + O(V) bitmap);
+//  - sparse-output vs dense-output advance — paying bitmap writes to get
+//    dedup for free;
+//  - exclusive_scan throughput — the load-balancing primitive.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace fr = e::frontier;
+namespace op = e::operators;
+
+namespace {
+
+e::graph::graph_csr const& graph() {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 12;
+    opt.edge_factor = 16;
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_csr>(std::move(coo));
+  }();
+  return g;
+}
+
+fr::sparse_frontier<e::vertex_t> frontier_of(std::size_t count) {
+  fr::sparse_frontier<e::vertex_t> f;
+  std::size_t const n = static_cast<std::size_t>(graph().get_num_vertices());
+  std::size_t const stride = std::max<std::size_t>(1, n / count);
+  for (std::size_t v = 0; v < n; v += stride)
+    f.add_vertex(static_cast<e::vertex_t>(v));
+  return f;
+}
+
+auto const always = [](e::vertex_t, e::vertex_t, e::edge_t, e::weight_t) {
+  return true;
+};
+
+void BM_AdvanceBulkBuffered(benchmark::State& state) {
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push(e::execution::par, graph(), in, always).size());
+}
+
+void BM_AdvanceListing3Mutex(benchmark::State& state) {
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::neighbors_expand_listing3(e::execution::par, graph(), in, always)
+            .size());
+}
+
+void BM_AdvanceDenseOutput(benchmark::State& state) {
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push_to_dense(e::execution::par, graph(), in, always)
+            .size());
+}
+
+void BM_AdvanceEdgeBalanced(benchmark::State& state) {
+  // §IV-C load balancing ablation: edges (not vertices) are the unit of
+  // work, so a hub vertex no longer serializes one lane.  Compare with
+  // BM_AdvanceBulkBuffered (thread-mapped) on the same skewed frontier.
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push_edge_balanced(e::execution::par, graph(), in, always)
+            .size());
+}
+
+void BM_AdvanceThreadMappedHubFrontier(benchmark::State& state) {
+  // Worst case for thread mapping: a frontier holding the hubs of the
+  // power-law graph (top-degree vertices) next to low-degree vertices.
+  fr::sparse_frontier<e::vertex_t> in;
+  std::vector<e::vertex_t> by_degree(
+      static_cast<std::size_t>(graph().get_num_vertices()));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [](e::vertex_t a, e::vertex_t b) {
+              return graph().get_out_degree(a) > graph().get_out_degree(b);
+            });
+  for (std::size_t i = 0; i < 256 && i < by_degree.size(); ++i)
+    in.add_vertex(by_degree[i]);
+  bool const balanced = state.range(0) != 0;
+  for (auto _ : state) {
+    if (balanced)
+      benchmark::DoNotOptimize(
+          op::advance_push_edge_balanced(e::execution::par, graph(), in,
+                                         always)
+              .size());
+    else
+      benchmark::DoNotOptimize(
+          op::advance_push(e::execution::par, graph(), in, always).size());
+  }
+  state.SetLabel(balanced ? "hub-frontier edge-balanced"
+                          : "hub-frontier thread-mapped");
+}
+
+void BM_UniquifySort(benchmark::State& state) {
+  auto const base =
+      op::advance_push(e::execution::par, graph(),
+                       frontier_of(static_cast<std::size_t>(state.range(0))),
+                       always);
+  for (auto _ : state) {
+    auto f = base;
+    op::uniquify(e::execution::seq, f);
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+
+void BM_UniquifyBitmap(benchmark::State& state) {
+  auto const base =
+      op::advance_push(e::execution::par, graph(),
+                       frontier_of(static_cast<std::size_t>(state.range(0))),
+                       always);
+  for (auto _ : state) {
+    auto f = base;
+    op::uniquify(e::execution::par, f,
+                 static_cast<std::size_t>(graph().get_num_vertices()));
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+
+void BM_CompressedVsFlatTraversal(benchmark::State& state) {
+  // Varint-delta compressed adjacency vs flat CSR: decode ALU traded for
+  // memory footprint.  Label reports the compression ratio.
+  static auto const csr = [] {
+    auto coo = e::generators::grid_2d(256, 256, {1.0f, 4.0f});
+    e::graph::sort_and_deduplicate(coo);
+    return e::graph::build_csr(coo);
+  }();
+  static e::graph::compressed_graph<> const cg(csr);
+  static e::graph::graph_csr const flat = [] {
+    e::graph::graph_csr g2;
+    g2.set_csr(csr);
+    return g2;
+  }();
+  bool const compressed = state.range(0) != 0;
+  for (auto _ : state) {
+    if (compressed) {
+      benchmark::DoNotOptimize(
+          e::algorithms::sssp_compressed(cg, e::vertex_t{0}).data());
+    } else {
+      benchmark::DoNotOptimize(
+          e::algorithms::sssp(e::execution::seq, flat, 0).distances.data());
+    }
+  }
+  state.SetLabel(compressed
+                     ? "compressed (ratio " +
+                           std::to_string(cg.compression_ratio()).substr(0, 4) +
+                           "x)"
+                     : "flat CSR");
+}
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  std::size_t const n = static_cast<std::size_t>(state.range(0));
+  std::vector<int> in(n, 3);
+  std::vector<long long> out(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::parallel::exclusive_scan(in.data(), n, out.data()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long long>(n * sizeof(int)));
+}
+
+BENCHMARK(BM_AdvanceBulkBuffered)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceListing3Mutex)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceDenseOutput)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceEdgeBalanced)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceThreadMappedHubFrontier)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UniquifySort)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UniquifyBitmap)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompressedVsFlatTraversal)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 16)->Arg(1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

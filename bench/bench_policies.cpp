@@ -1,0 +1,128 @@
+// bench_policies — experiment A5 (paper §III-A): the cost of each
+// execution policy on identical operator invocations.  The paper's claim
+// is that policies let "the operator's functionality [be] identical, even
+// as its underlying execution changes" — this bench quantifies what each
+// execution choice costs.
+//
+//  - seq vs par: parallelization overhead vs speedup per operator.
+//  - par vs par_nosync: what the superstep barrier itself costs when the
+//    caller can overlap, measured by launching K advances back-to-back and
+//    synchronizing once vs K times.
+//
+// NOTE: on a 1-core container (see DESIGN.md caveat), par ~= seq plus
+// scheduling overhead; the *relative* barrier cost remains visible.
+#include <benchmark/benchmark.h>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace fr = e::frontier;
+namespace op = e::operators;
+
+namespace {
+
+e::graph::graph_csr const& graph() {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 12;
+    opt.edge_factor = 16;
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_csr>(std::move(coo));
+  }();
+  return g;
+}
+
+fr::sparse_frontier<e::vertex_t> half_frontier() {
+  fr::sparse_frontier<e::vertex_t> f;
+  for (e::vertex_t v = 0; v < graph().get_num_vertices(); v += 2)
+    f.add_vertex(v);
+  return f;
+}
+
+auto const always = [](e::vertex_t, e::vertex_t, e::edge_t, e::weight_t) {
+  return true;
+};
+
+void BM_AdvanceSeq(benchmark::State& state) {
+  auto const in = half_frontier();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push(e::execution::seq, graph(), in, always).size());
+}
+
+void BM_AdvancePar(benchmark::State& state) {
+  auto const in = half_frontier();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push(e::execution::par, graph(), in, always).size());
+}
+
+void BM_ComputeSeqVsParVsNosync(benchmark::State& state) {
+  // One vertex-program sweep (x[v] = f(v)) under the policy chosen by
+  // range(0): 0 = seq, 1 = par, 2 = par_nosync (+ explicit wait).
+  std::vector<double> x(static_cast<std::size_t>(graph().get_num_vertices()));
+  for (auto _ : state) {
+    auto const body = [&x](e::vertex_t v) {
+      x[static_cast<std::size_t>(v)] = static_cast<double>(v) * 1.000001;
+    };
+    switch (state.range(0)) {
+      case 0:
+        op::compute_vertices(e::execution::seq, graph(), body);
+        break;
+      case 1:
+        op::compute_vertices(e::execution::par, graph(), body);
+        break;
+      default: {
+        e::execution::parallel_nosync_policy nosync;
+        op::compute_vertices(nosync, graph(), body);
+        nosync.pool().wait_idle();
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetLabel(state.range(0) == 0   ? "seq"
+                 : state.range(0) == 1 ? "par (barrier per call)"
+                                       : "par_nosync (+wait_idle)");
+}
+
+void BM_BatchedAdvances_BarrierPerStep(benchmark::State& state) {
+  // K independent advances, synchronizing after each (BSP style).
+  auto const in = half_frontier();
+  int const k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < k; ++i)
+      benchmark::DoNotOptimize(
+          op::advance_push(e::execution::par, graph(), in, always).size());
+  }
+  state.SetLabel("K=" + std::to_string(k) + " barriers");
+}
+
+void BM_BatchedAdvances_SingleBarrier(benchmark::State& state) {
+  // The same K independent advances launched with par_nosync and one final
+  // wait — the asynchronous overlap the paper's timing pillar promises.
+  auto const in = half_frontier();
+  int const k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    e::execution::parallel_nosync_policy nosync;
+    std::vector<fr::sparse_frontier<e::vertex_t>> outs(
+        static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+      op::advance_push(nosync, graph(), in, always,
+                       outs[static_cast<std::size_t>(i)]);
+    nosync.pool().wait_idle();
+    benchmark::DoNotOptimize(outs.data());
+  }
+  state.SetLabel("K=" + std::to_string(k) + " one barrier");
+}
+
+BENCHMARK(BM_AdvanceSeq)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvancePar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComputeSeqVsParVsNosync)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedAdvances_BarrierPerStep)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedAdvances_SingleBarrier)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

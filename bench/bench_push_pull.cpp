@@ -1,0 +1,130 @@
+// bench_push_pull — experiment A3 (paper §III-C): push (CSR out-edge)
+// versus pull (CSC in-edge) traversal as a function of frontier density,
+// plus whole-algorithm push / pull / direction-optimizing BFS.
+//
+// Expected shape: one push advance costs O(edges out of F) — cheap when F
+// is sparse, while one pull advance costs O(all in-edges scanned) — flat in
+// |F| but with early-exit it wins when nearly every vertex is active
+// (scan-until-first-active-parent beats touching every frontier out-edge).
+// The crossover is why direction-optimizing BFS exists, and the BFS suite
+// below shows it beating either fixed direction on the skewed graph.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/bfs.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace fr = e::frontier;
+namespace op = e::operators;
+
+namespace {
+
+e::graph::graph_push_pull const& rmat_graph() {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 13;
+    opt.edge_factor = 16;
+    opt.seed = 5;
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_push_pull>(std::move(coo));
+  }();
+  return g;
+}
+
+/// Activate the given permille of vertices, evenly spread.
+template <typename F>
+void activate(F& f, e::vertex_t n, int permille) {
+  long long const want = static_cast<long long>(n) * permille / 1000;
+  if (want == 0)
+    return;
+  long long const stride = std::max<long long>(1, n / want);
+  for (long long v = 0; v < n; v += stride)
+    f.add_vertex(static_cast<e::vertex_t>(v));
+}
+
+auto const always = [](e::vertex_t, e::vertex_t, e::edge_t, e::weight_t) {
+  return true;
+};
+
+void BM_AdvancePushAtDensity(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  fr::sparse_frontier<e::vertex_t> in;
+  activate(in, g.get_num_vertices(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = op::advance_push(e::execution::par, g, in, always);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetLabel("density=" + std::to_string(state.range(0)) + "/1000");
+}
+
+void BM_AdvancePullAtDensity(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  fr::dense_frontier<e::vertex_t> in(
+      static_cast<std::size_t>(g.get_num_vertices()));
+  activate(in, g.get_num_vertices(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = op::advance_pull<true>(e::execution::par, g, in, always);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetLabel("density=" + std::to_string(state.range(0)) + "/1000");
+}
+
+void BM_BfsPush(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::bfs(e::execution::par, g, 0).depths.data());
+}
+
+void BM_BfsPull(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::bfs_pull(e::execution::par, g, 0).depths.data());
+}
+
+void BM_BfsDirectionOptimizing(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::bfs_direction_optimizing(e::execution::par, g, 0)
+            .depths.data());
+}
+
+void BM_PagerankPull(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  e::algorithms::pagerank_options opt;
+  opt.max_iterations = 10;
+  opt.tolerance = 0.0;  // fixed sweep count for comparability
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::pagerank(e::execution::par, g, opt).ranks.data());
+}
+
+void BM_PagerankPush(benchmark::State& state) {
+  auto const& g = rmat_graph();
+  e::algorithms::pagerank_options opt;
+  opt.max_iterations = 10;
+  opt.tolerance = 0.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::pagerank_push(e::execution::par, g, opt).ranks.data());
+}
+
+// Density sweep in permille of |V|: 1 (very sparse) ... 1000 (all active).
+BENCHMARK(BM_AdvancePushAtDensity)
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvancePullAtDensity)
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BfsPush)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BfsPull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BfsDirectionOptimizing)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PagerankPull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PagerankPush)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// bench_queries — experiment A9: point-to-point and local queries, the
+// production counterpart of the whole-graph sweeps.  Measures (a) A* vs
+// early-exit Dijkstra vs full SSSP for one route on road-like grids —
+// settled-vertex counts are the hardware-independent shape; (b) forward-
+// push personalized PageRank cost vs tolerance.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/astar.hpp"
+#include "algorithms/personalized_pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+namespace {
+
+struct road_t {
+  e::vertex_t side;
+  e::graph::graph_csr graph;
+};
+
+road_t const& road(int side) {
+  static road_t const small{128, e::graph::from_coo<e::graph::graph_csr>(
+                                     e::generators::grid_2d(128, 128,
+                                                            {1.0f, 4.0f}, 7))};
+  static road_t const large{256, e::graph::from_coo<e::graph::graph_csr>(
+                                     e::generators::grid_2d(256, 256,
+                                                            {1.0f, 4.0f}, 7))};
+  return side == 128 ? small : large;
+}
+
+void BM_RouteFullSssp(benchmark::State& state) {
+  auto const& r = road(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::sssp(e::execution::par, r.graph, 0).distances.data());
+  state.SetLabel("computes all " + std::to_string(r.side * r.side) +
+                 " distances");
+}
+
+// Route target: the grid center — the representative query (corner-to-
+// corner would force every vertex to settle, hiding the pruning).
+e::vertex_t center_target(road_t const& r) {
+  return (r.side / 2) * r.side + r.side / 2;
+}
+
+void BM_RouteDijkstraEarlyExit(benchmark::State& state) {
+  auto const& r = road(static_cast<int>(state.range(0)));
+  e::vertex_t const target = center_target(r);
+  std::size_t settled = 0;
+  for (auto _ : state) {
+    auto const res =
+        e::algorithms::dijkstra_point_to_point(r.graph, 0, target);
+    settled = res.settled;
+    benchmark::DoNotOptimize(res.distance);
+  }
+  state.SetLabel("settled=" + std::to_string(settled));
+}
+
+void BM_RouteAStarManhattan(benchmark::State& state) {
+  auto const& r = road(static_cast<int>(state.range(0)));
+  e::vertex_t const target = center_target(r);
+  auto const h = e::algorithms::manhattan_heuristic<e::vertex_t, float>(
+      r.side, target, 1.0f);
+  std::size_t settled = 0;
+  for (auto _ : state) {
+    auto const res = e::algorithms::astar(r.graph, 0, target, h);
+    settled = res.settled;
+    benchmark::DoNotOptimize(res.distance);
+  }
+  state.SetLabel("settled=" + std::to_string(settled));
+}
+
+void BM_PersonalizedPagerank(benchmark::State& state) {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 13;
+    opt.edge_factor = 16;
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_csr>(std::move(coo));
+  }();
+  e::algorithms::ppr_options opt;
+  opt.epsilon = 1.0 / static_cast<double>(state.range(0));
+  std::size_t pushes = 0;
+  for (auto _ : state) {
+    auto const r = e::algorithms::personalized_pagerank(g, 0, opt);
+    pushes = r.pushes;
+    benchmark::DoNotOptimize(r.estimate.data());
+  }
+  state.SetLabel("eps=1/" + std::to_string(state.range(0)) +
+                 " pushes=" + std::to_string(pushes));
+}
+
+BENCHMARK(BM_RouteFullSssp)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouteDijkstraEarlyExit)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouteAStarManhattan)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PersonalizedPagerank)->Arg(1000)->Arg(100000)->Arg(10000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// bench_scaling — experiment A7: strong scaling of the framework's
+// operators across thread-pool sizes.  Execution policies carry their pool,
+// so the sweep is a one-line policy change per configuration — itself a
+// demonstration of the §III-A abstraction.
+//
+// Expected shape: near-linear until the pool exceeds physical cores.  On
+// this 1-core container the curve is flat-to-worse beyond 1 thread (the
+// hardware, not the abstraction — DESIGN.md caveat); the bench exists so
+// the same binary shows the real curve on real hardware.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+namespace {
+
+e::graph::graph_full const& graph() {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 13;
+    opt.edge_factor = 16;
+    opt.weights = {1.0f, 4.0f};
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_full>(
+        std::move(coo), e::graph::duplicate_policy::keep_min);
+  }();
+  return g;
+}
+
+void BM_SsspStrongScaling(benchmark::State& state) {
+  e::parallel::thread_pool pool(static_cast<std::size_t>(state.range(0)));
+  e::execution::parallel_policy policy(pool);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::sssp(policy, graph(), 0).distances.data());
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+
+void BM_PagerankStrongScaling(benchmark::State& state) {
+  e::parallel::thread_pool pool(static_cast<std::size_t>(state.range(0)));
+  e::execution::parallel_policy policy(pool);
+  e::algorithms::pagerank_options opt;
+  opt.max_iterations = 10;
+  opt.tolerance = 0.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::pagerank(policy, graph(), opt).ranks.data());
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+
+void BM_AsyncSsspWorkerScaling(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e::algorithms::sssp_async(graph(), 0,
+                                  static_cast<std::size_t>(state.range(0)))
+            .distances.data());
+  state.SetLabel("workers=" + std::to_string(state.range(0)));
+}
+
+BENCHMARK(BM_SsspStrongScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK(BM_PagerankStrongScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK(BM_AsyncSsspWorkerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

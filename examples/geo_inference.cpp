@@ -1,0 +1,91 @@
+// geo_inference — predict user locations on a social network from a
+// partially-labeled friendship graph (the "geo" application of the
+// Gunrock/essentials suite).
+//
+// We generate a small-world friendship graph, plant ground-truth
+// coordinates in clusters (cities), reveal only a fraction of them, run
+// the geolocation fixed point, and report prediction error in km against
+// the hidden ground truth.
+//
+// Usage: geo_inference [n known_fraction]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+int main(int argc, char** argv) {
+  e::vertex_t n = 5000;
+  double known_fraction = 0.2;
+  if (argc == 3) {
+    n = static_cast<e::vertex_t>(std::atoi(argv[1]));
+    known_fraction = std::atof(argv[2]);
+  }
+
+  // Friendship graph: small world (high clustering, short paths).
+  auto coo = e::generators::watts_strogatz(n, 4, 0.02, {}, /*seed=*/9);
+  e::graph::remove_self_loops(coo);
+  auto const g = e::graph::from_coo<e::graph::graph_csr>(std::move(coo));
+
+  // Ground truth: ring positions map to 8 "cities" around the globe; a
+  // user's city is their ring neighborhood, so friends are usually
+  // co-located — the assumption geolocation inference rests on.
+  struct city_t {
+    char const* name;
+    double lat, lon;
+  };
+  std::vector<city_t> const cities{
+      {"Tokyo", 35.7, 139.7},   {"Sydney", -33.9, 151.2},
+      {"Mumbai", 19.1, 72.9},   {"Berlin", 52.5, 13.4},
+      {"Lagos", 6.5, 3.4},      {"London", 51.5, -0.1},
+      {"Sao Paulo", -23.5, -46.6}, {"Denver", 39.7, -105.0}};
+  auto const city_of = [&](e::vertex_t v) {
+    return cities[static_cast<std::size_t>(v) * cities.size() /
+                  static_cast<std::size_t>(n)];
+  };
+
+  std::vector<e::algorithms::geo_point> truth(static_cast<std::size_t>(n));
+  std::vector<e::algorithms::geo_point> seeds(static_cast<std::size_t>(n));
+  e::generators::rng_t rng(4);
+  std::size_t revealed = 0;
+  for (e::vertex_t v = 0; v < n; ++v) {
+    auto const c = city_of(v);
+    // Users scatter ~0.5 degree around their city center.
+    truth[static_cast<std::size_t>(v)] = {
+        c.lat + rng.next_float(-0.5f, 0.5f),
+        c.lon + rng.next_float(-0.5f, 0.5f), true};
+    if (rng.next_bool(known_fraction)) {
+      seeds[static_cast<std::size_t>(v)] = truth[static_cast<std::size_t>(v)];
+      ++revealed;
+    }
+  }
+
+  std::printf("friendship graph: %d users, %d ties; %zu profiles (%.0f%%) "
+              "reveal a location\n",
+              g.get_num_vertices(), g.get_num_edges(), revealed,
+              100.0 * static_cast<double>(revealed) / n);
+
+  auto const r = e::algorithms::geolocate(e::execution::par, g, seeds);
+  std::printf("inference: %zu/%d users located after %zu sweeps\n",
+              r.located, n, r.iterations);
+
+  double total_err = 0.0, worst = 0.0;
+  std::size_t predicted = 0;
+  for (e::vertex_t v = 0; v < n; ++v) {
+    auto const& p = r.positions[static_cast<std::size_t>(v)];
+    if (!p.located || seeds[static_cast<std::size_t>(v)].located)
+      continue;  // skip unlocated and the revealed anchors
+    double const err =
+        e::algorithms::haversine_km(p, truth[static_cast<std::size_t>(v)]);
+    total_err += err;
+    worst = std::max(worst, err);
+    ++predicted;
+  }
+  if (predicted > 0)
+    std::printf("prediction error over %zu hidden users: mean %.0f km, "
+                "max %.0f km\n",
+                predicted, total_err / static_cast<double>(predicted), worst);
+  return 0;
+}

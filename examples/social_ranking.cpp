@@ -1,0 +1,67 @@
+// social_ranking — influence analysis on a synthetic social network.
+//
+// Social graphs are power-law: a few celebrity accounts with enormous
+// degree, a long tail of small ones.  R-MAT reproduces that regime.  The
+// example ranks accounts with PageRank (pull/CSC gather) and HITS
+// (hubs & authorities), verifies the push-PageRank scatter agrees with the
+// pull gather (the §III-C duality on a non-traversal algorithm), and
+// prints the top influencers alongside their degrees.
+//
+// Usage: social_ranking [scale edge_factor]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+int main(int argc, char** argv) {
+  e::generators::rmat_options opt;
+  opt.scale = 12;
+  opt.edge_factor = 16;
+  opt.seed = 7;
+  if (argc == 3) {
+    opt.scale = std::atoi(argv[1]);
+    opt.edge_factor = static_cast<std::size_t>(std::atoi(argv[2]));
+  }
+
+  auto coo = e::generators::rmat(opt);
+  e::graph::remove_self_loops(coo);
+  auto const g = e::graph::from_coo<e::graph::graph_full>(std::move(coo));
+  auto const stats = e::graph::out_degree_stats(g.csr());
+  std::printf("social network: %d accounts, %d follows\n",
+              g.get_num_vertices(), g.get_num_edges());
+  std::printf("degree skew: mean %.1f, max %zu (power-law regime)\n",
+              stats.mean_degree, stats.max_degree);
+
+  auto const pr = e::algorithms::pagerank(e::execution::par, g);
+  auto const pr_push = e::algorithms::pagerank_push(e::execution::par, g);
+  double push_pull_gap = 0.0;
+  for (std::size_t v = 0; v < pr.ranks.size(); ++v)
+    push_pull_gap = std::max(push_pull_gap,
+                             std::abs(pr.ranks[v] - pr_push.ranks[v]));
+  std::printf("\npagerank converged in %zu sweeps "
+              "(push and pull agree to %.1e)\n",
+              pr.iterations, push_pull_gap);
+
+  auto const ht = e::algorithms::hits(e::execution::par, g);
+  std::printf("hits converged in %zu sweeps\n", ht.iterations);
+
+  std::vector<e::vertex_t> order(pr.ranks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&pr](e::vertex_t a, e::vertex_t b) {
+    return pr.ranks[a] > pr.ranks[b];
+  });
+
+  std::printf("\n%-6s %-10s %-12s %-12s %-12s %-8s\n", "rank", "account",
+              "pagerank", "authority", "hub", "degree");
+  for (int i = 0; i < 10 && i < static_cast<int>(order.size()); ++i) {
+    auto const v = order[static_cast<std::size_t>(i)];
+    std::printf("%-6d %-10d %-12.3e %-12.3e %-12.3e %-8d\n", i + 1, v,
+                pr.ranks[v], ht.authorities[v], ht.hubs[v],
+                g.get_out_degree(v));
+  }
+  return 0;
+}

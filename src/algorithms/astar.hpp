@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file algorithms/astar.hpp
+/// \brief Point-to-point shortest path: A* with a user heuristic, plus
+/// bidirectional-free early-exit Dijkstra as the baseline.  The road-
+/// navigation workload's production query shape (SSSP computes the full
+/// tree; route queries want one target fast).
+///
+/// The heuristic must be *admissible* (never overestimate the remaining
+/// distance) for optimality — e.g. scaled Manhattan distance on a grid
+/// whose minimum edge weight scales the bound (helper provided).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t, typename W = weight_t>
+struct point_to_point_result {
+  W distance = infinity_v<W>;     ///< infinity if unreachable
+  std::vector<V> path;            ///< source..target (empty if unreachable)
+  std::size_t settled = 0;        ///< vertices popped (search effort)
+};
+
+/// A* from `source` to `target` with heuristic `h(v) ~ dist(v, target)`.
+/// h must be admissible; h == 0 degrades to early-exit Dijkstra.
+template <typename G>
+point_to_point_result<typename G::vertex_type, typename G::weight_type>
+astar(G const& g, typename G::vertex_type source,
+      typename G::vertex_type target,
+      std::function<typename G::weight_type(typename G::vertex_type)> h) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "astar: source out of range");
+  expects(target >= 0 && target < g.get_num_vertices(),
+          "astar: target out of range");
+
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  std::vector<W> dist(n, infinity_v<W>);
+  std::vector<V> parent(n, invalid_vertex<V>);
+  std::vector<char> settled(n, 0);
+  dist[static_cast<std::size_t>(source)] = W{0};
+
+  using entry = std::pair<W, V>;  // (f = g + h, vertex)
+  std::priority_queue<entry, std::vector<entry>, std::greater<entry>> open;
+  open.emplace(h(source), source);
+
+  point_to_point_result<V, W> result;
+  while (!open.empty()) {
+    auto const [f, v] = open.top();
+    open.pop();
+    if (settled[static_cast<std::size_t>(v)])
+      continue;
+    settled[static_cast<std::size_t>(v)] = 1;
+    ++result.settled;
+    if (v == target)
+      break;
+    W const d_v = dist[static_cast<std::size_t>(v)];
+    for (auto const e : g.get_edges(v)) {
+      V const nb = g.get_dest_vertex(e);
+      if (settled[static_cast<std::size_t>(nb)])
+        continue;
+      W const cand = d_v + g.get_edge_weight(e);
+      if (cand < dist[static_cast<std::size_t>(nb)]) {
+        dist[static_cast<std::size_t>(nb)] = cand;
+        parent[static_cast<std::size_t>(nb)] = v;
+        open.emplace(cand + h(nb), nb);
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(target)] == infinity_v<W>)
+    return result;
+  result.distance = dist[static_cast<std::size_t>(target)];
+  for (V v = target; v != invalid_vertex<V>;
+       v = parent[static_cast<std::size_t>(v)]) {
+    result.path.push_back(v);
+    if (v == source)
+      break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+/// Early-exit Dijkstra (A* with a zero heuristic) — the baseline A* must
+/// beat on settled-vertex count when the heuristic is informative.
+template <typename G>
+point_to_point_result<typename G::vertex_type, typename G::weight_type>
+dijkstra_point_to_point(G const& g, typename G::vertex_type source,
+                        typename G::vertex_type target) {
+  using W = typename G::weight_type;
+  return astar(g, source, target,
+               [](typename G::vertex_type) { return W{0}; });
+}
+
+/// Admissible grid heuristic: scaled Manhattan distance for a rows x cols
+/// grid (vertex id = r * cols + c) whose cheapest edge weighs
+/// `min_edge_weight`.
+template <typename V = vertex_t, typename W = weight_t>
+std::function<W(V)> manhattan_heuristic(V cols, V target, W min_edge_weight) {
+  V const tr = target / cols;
+  V const tc = target % cols;
+  return [cols, tr, tc, min_edge_weight](V v) {
+    V const r = v / cols;
+    V const c = v % cols;
+    auto const dr = r > tr ? r - tr : tr - r;
+    auto const dc = c > tc ? c - tc : tc - c;
+    return static_cast<W>(dr + dc) * min_edge_weight;
+  };
+}
+
+}  // namespace essentials::algorithms

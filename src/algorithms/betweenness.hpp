@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file algorithms/betweenness.hpp
+/// \brief Betweenness centrality (Brandes' algorithm) on unweighted graphs:
+/// a forward BFS phase that counts shortest paths per level, then a
+/// backward dependency-accumulation sweep over the levels in reverse — the
+/// classic two-phase frontier program.
+///
+/// `betweenness` runs the forward phase with the framework's parallel
+/// operators (level-synchronous BFS with atomic path counting) and the
+/// backward phase level-parallel.  `betweenness_serial` is Brandes'
+/// textbook stack formulation, the oracle.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "parallel/atomic_bitset.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+template <typename W = double>
+struct bc_result {
+  std::vector<W> centrality;
+  std::size_t levels = 0;
+};
+
+/// Single-source Brandes pass; `centrality` accumulates across calls so
+/// callers can sum over any source set (all-pairs, or sampled).
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+void betweenness_from_source(P policy, G const& g,
+                             typename G::vertex_type source,
+                             std::vector<double>& centrality) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using WT = typename G::weight_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  expects(centrality.size() == n, "betweenness: centrality size mismatch");
+
+  std::vector<V> depth(n, V{-1});
+  std::vector<double> sigma(n, 0.0);  // shortest-path counts
+  std::vector<double> delta(n, 0.0);  // dependencies
+  depth[static_cast<std::size_t>(source)] = 0;
+  sigma[static_cast<std::size_t>(source)] = 1.0;
+  V* const d = depth.data();
+  double* const sg = sigma.data();
+
+  parallel::atomic_bitset visited(n);
+  visited.set(static_cast<std::size_t>(source));
+  // `settled[v]` == v was discovered in a *previous* superstep.  Lanes use
+  // it (read-only during a superstep) to decide whether an edge enters the
+  // next level, so the sigma accumulation never races with the claimer's
+  // depth write.
+  std::vector<char> settled(n, 0);
+  settled[static_cast<std::size_t>(source)] = 1;
+
+  // Forward: level-synchronous BFS recording each level's frontier.
+  std::vector<std::vector<V>> levels;
+  frontier::sparse_frontier<V> f;
+  f.add_vertex(source);
+  levels.push_back(f.to_vector());
+
+  std::size_t level = 0;
+  while (!f.empty()) {
+    V const next_depth = static_cast<V>(level + 1);
+    char const* const done = settled.data();
+    auto out = operators::neighbors_expand(
+        policy, g, f,
+        [&visited, d, sg, done, next_depth](V const src, V const dst, E const,
+                                            WT const) {
+          if (done[dst])
+            return false;  // settled in an earlier level
+          // dst belongs to the next level: every edge from the current
+          // level contributes src's path count.  sigma[src] is stable
+          // within the superstep (only next-level sigmas are written).
+          atomic::add(&sg[dst], sg[src]);
+          bool const first = visited.test_and_set(static_cast<std::size_t>(dst));
+          if (first)
+            d[dst] = next_depth;
+          return first;
+        });
+    f = std::move(out);
+    f.for_each_active(
+        [&settled](V v) { settled[static_cast<std::size_t>(v)] = 1; });
+    if (!f.empty())
+      levels.push_back(f.to_vector());
+    ++level;
+  }
+
+  // Backward: accumulate dependencies level by level, deepest first.  The
+  // per-level sweep is parallel (vertices within a level are independent
+  // writers of their own delta through in-edge... here via out-edge scan of
+  // predecessors: v pulls from successors w with d[w] == d[v]+1).
+  double* const dl = delta.data();
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    auto const& lvl = levels[li];
+    frontier::sparse_frontier<V> lf(lvl);
+    operators::compute(policy, lf, [&](V v) {
+      double acc = 0.0;
+      for (auto const e : g.get_edges(v)) {
+        V const w = g.get_dest_vertex(e);
+        if (d[w] == d[v] + 1 && sg[w] > 0.0)
+          acc += sg[v] / sg[w] * (1.0 + dl[w]);
+      }
+      dl[v] = acc;
+    });
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (static_cast<V>(v) != source && depth[v] != V{-1})
+      centrality[v] += delta[v];
+}
+
+/// Betweenness from every vertex (exact) or the first `num_sources`
+/// vertices (approximate when smaller than V).
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+bc_result<> betweenness(P policy, G const& g, std::size_t num_sources = 0) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  bc_result<> result;
+  result.centrality.assign(n, 0.0);
+  std::size_t const sources = num_sources == 0 ? n : std::min(num_sources, n);
+  for (std::size_t s = 0; s < sources; ++s)
+    betweenness_from_source(policy, g, static_cast<V>(s), result.centrality);
+  return result;
+}
+
+/// Brandes' serial algorithm (stack + predecessor lists) — the oracle.
+template <typename G>
+bc_result<> betweenness_serial(G const& g, std::size_t num_sources = 0) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  bc_result<> result;
+  result.centrality.assign(n, 0.0);
+  std::size_t const sources = num_sources == 0 ? n : std::min(num_sources, n);
+
+  for (std::size_t s = 0; s < sources; ++s) {
+    V const source = static_cast<V>(s);
+    std::vector<std::vector<V>> pred(n);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<V> dist(n, V{-1});
+    std::vector<V> stack;
+    stack.reserve(n);
+    sigma[s] = 1.0;
+    dist[s] = 0;
+
+    std::vector<V> queue{source};
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      V const v = queue[head++];
+      stack.push_back(v);
+      for (auto const e : g.get_edges(v)) {
+        V const w = g.get_dest_vertex(e);
+        if (dist[static_cast<std::size_t>(w)] == V{-1}) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(w);
+        }
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(w)] +=
+              sigma[static_cast<std::size_t>(v)];
+          pred[static_cast<std::size_t>(w)].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(n, 0.0);
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      V const w = stack[i];
+      for (V const v : pred[static_cast<std::size_t>(w)])
+        delta[static_cast<std::size_t>(v)] +=
+            sigma[static_cast<std::size_t>(v)] /
+            sigma[static_cast<std::size_t>(w)] *
+            (1.0 + delta[static_cast<std::size_t>(w)]);
+      if (w != source)
+        result.centrality[static_cast<std::size_t>(w)] +=
+            delta[static_cast<std::size_t>(w)];
+    }
+  }
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file algorithms/clustering.hpp
+/// \brief Clustering coefficients (local per-vertex and global) built on
+/// the triangle-counting intersection kernel — the standard "how clumpy is
+/// this graph" analytics the community-detection example reports.
+///
+/// Undirected semantics: run on a symmetrized, deduplicated, loop-free
+/// graph with sorted adjacency (from_coo's canonical order).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+struct clustering_result {
+  std::vector<double> local;  ///< triangles(v) / C(deg(v), 2); 0 if deg < 2
+  double global = 0.0;        ///< closed wedges / all wedges
+  double average_local = 0.0; ///< Watts–Strogatz clustering coefficient
+};
+
+/// Per-vertex triangle membership: how many triangles contain v.  Each
+/// triangle {a < b < c} is discovered once (at its smallest edge) and
+/// credited to all three corners with atomic adds; vertices are scanned in
+/// parallel.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+std::vector<std::uint64_t> triangles_per_vertex(P policy, G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  std::vector<std::uint64_t> membership(n, 0);
+  std::uint64_t* const mem = membership.data();
+
+  operators::compute_vertices(policy, g, [&g, mem](V a) {
+    for (auto const e : g.get_edges(a)) {
+      V const b = g.get_dest_vertex(e);
+      if (b <= a)
+        continue;
+      // Common neighbors c > b complete triangles {a, b, c}: sorted-merge
+      // intersection of a's and b's adjacency restricted to ids > b.
+      auto const ae = g.get_edges(a);
+      auto const be = g.get_edges(b);
+      auto ai = ae.begin();
+      auto bi = be.begin();
+      while (ai != ae.end() && bi != be.end()) {
+        V const x = g.get_dest_vertex(*ai);
+        V const y = g.get_dest_vertex(*bi);
+        if (x <= b) {
+          ++ai;
+          continue;
+        }
+        if (y <= b) {
+          ++bi;
+          continue;
+        }
+        if (x == y) {
+          atomic::add(&mem[a], std::uint64_t{1});
+          atomic::add(&mem[b], std::uint64_t{1});
+          atomic::add(&mem[x], std::uint64_t{1});
+          ++ai;
+          ++bi;
+        } else if (x < y) {
+          ++ai;
+        } else {
+          ++bi;
+        }
+      }
+    }
+  });
+  return membership;
+}
+
+/// Local + global clustering coefficients.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+clustering_result clustering_coefficients(P policy, G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  clustering_result result;
+  result.local.assign(n, 0.0);
+  auto const membership = triangles_per_vertex(policy, g);
+
+  double wedges_total = 0.0;
+  double local_sum = 0.0;
+  std::uint64_t closed = 0;
+  for (V v = 0; v < g.get_num_vertices(); ++v) {
+    auto const deg = static_cast<double>(g.get_out_degree(v));
+    double const wedges = deg * (deg - 1.0) / 2.0;
+    wedges_total += wedges;
+    closed += membership[static_cast<std::size_t>(v)];
+    if (wedges > 0.0) {
+      result.local[static_cast<std::size_t>(v)] =
+          static_cast<double>(membership[static_cast<std::size_t>(v)]) /
+          wedges;
+      local_sum += result.local[static_cast<std::size_t>(v)];
+    }
+  }
+  result.average_local = n == 0 ? 0.0 : local_sum / static_cast<double>(n);
+  result.global =
+      wedges_total == 0.0 ? 0.0
+                          : static_cast<double>(closed) / wedges_total;
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file algorithms/coloring.hpp
+/// \brief Greedy graph coloring: Jones–Plassmann with random priorities
+/// (the classic parallel independent-set schedule) and serial first-fit as
+/// the baseline.  Colorings differ between variants; validity (no edge
+/// monochromatic) and color count are what tests check.
+///
+/// Undirected semantics: run on a symmetrized graph.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "generators/random.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t>
+struct coloring_result {
+  std::vector<V> colors;  ///< color id per vertex, 0-based
+  V num_colors = 0;
+  std::size_t rounds = 0;
+};
+
+/// Jones–Plassmann: each round, every uncolored vertex whose random
+/// priority beats all uncolored neighbors takes the smallest color absent
+/// from its neighborhood.  Rounds are BSP supersteps over a shrinking
+/// frontier of uncolored vertices.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+coloring_result<typename G::vertex_type> color_jones_plassmann(
+    P policy, G const& g, std::uint64_t seed = 1) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  coloring_result<V> result;
+  result.colors.assign(n, V{-1});
+  V* const colors = result.colors.data();
+
+  // Random priorities; ties broken by vertex id.
+  std::vector<std::uint64_t> priority(n);
+  generators::rng_t rng(seed);
+  for (auto& p : priority)
+    p = rng.next_u64();
+
+  std::vector<V> uncolored(n);
+  std::iota(uncolored.begin(), uncolored.end(), V{0});
+
+  while (!uncolored.empty()) {
+    frontier::sparse_frontier<V> f(uncolored);
+    std::vector<char> wins(n, 0);
+    char* const win = wins.data();
+
+    // Phase 1: find local maxima among uncolored vertices.
+    operators::compute(policy, f, [&](V v) {
+      for (auto const e : g.get_edges(v)) {
+        V const nb = g.get_dest_vertex(e);
+        if (colors[nb] != V{-1} || nb == v)
+          continue;
+        auto const pv = priority[static_cast<std::size_t>(v)];
+        auto const pn = priority[static_cast<std::size_t>(nb)];
+        if (pn > pv || (pn == pv && nb > v))
+          return;  // a live neighbor outranks us this round
+      }
+      win[v] = 1;
+    });
+
+    // Phase 2: winners take the smallest color missing from their
+    // neighborhood.  Winners form an independent set among uncolored
+    // vertices, so no two adjacent vertices color simultaneously.
+    operators::compute(policy, f, [&](V v) {
+      if (!win[v])
+        return;
+      std::vector<char> used;
+      used.assign(static_cast<std::size_t>(g.get_out_degree(v)) + 1, 0);
+      for (auto const e : g.get_edges(v)) {
+        V const c = colors[g.get_dest_vertex(e)];
+        if (c != V{-1} && static_cast<std::size_t>(c) < used.size())
+          used[static_cast<std::size_t>(c)] = 1;
+      }
+      V c = 0;
+      while (used[static_cast<std::size_t>(c)])
+        ++c;
+      colors[v] = c;
+    });
+
+    std::vector<V> next;
+    next.reserve(uncolored.size());
+    for (V const v : uncolored)
+      if (colors[static_cast<std::size_t>(v)] == V{-1})
+        next.push_back(v);
+    expects(next.size() < uncolored.size(),
+            "color_jones_plassmann: no progress (graph mutated mid-run?)");
+    uncolored = std::move(next);
+    ++result.rounds;
+  }
+
+  for (std::size_t v = 0; v < n; ++v)
+    result.num_colors = std::max(result.num_colors,
+                                 static_cast<V>(result.colors[v] + 1));
+  return result;
+}
+
+/// Serial first-fit in vertex order — the baseline color count.
+template <typename G>
+coloring_result<typename G::vertex_type> color_serial(G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  coloring_result<V> result;
+  result.colors.assign(n, V{-1});
+  for (V v = 0; v < g.get_num_vertices(); ++v) {
+    std::vector<char> used(static_cast<std::size_t>(g.get_out_degree(v)) + 1,
+                           0);
+    for (auto const e : g.get_edges(v)) {
+      V const c = result.colors[static_cast<std::size_t>(g.get_dest_vertex(e))];
+      if (c != V{-1} && static_cast<std::size_t>(c) < used.size())
+        used[static_cast<std::size_t>(c)] = 1;
+    }
+    V c = 0;
+    while (used[static_cast<std::size_t>(c)])
+      ++c;
+    result.colors[static_cast<std::size_t>(v)] = c;
+    result.num_colors = std::max(result.num_colors, static_cast<V>(c + 1));
+  }
+  result.rounds = 1;
+  return result;
+}
+
+/// Validity check: no edge joins two vertices of the same color, and every
+/// vertex is colored.
+template <typename G>
+bool is_valid_coloring(G const& g,
+                       std::vector<typename G::vertex_type> const& colors) {
+  using V = typename G::vertex_type;
+  for (V v = 0; v < g.get_num_vertices(); ++v) {
+    if (colors[static_cast<std::size_t>(v)] == V{-1})
+      return false;
+    for (auto const e : g.get_edges(v)) {
+      V const nb = g.get_dest_vertex(e);
+      if (nb != v && colors[static_cast<std::size_t>(nb)] ==
+                         colors[static_cast<std::size_t>(v)])
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace essentials::algorithms

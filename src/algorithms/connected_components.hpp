@@ -1,0 +1,196 @@
+#pragma once
+
+/// \file algorithms/connected_components.hpp
+/// \brief Connected components (undirected semantics: run on a symmetrized
+/// graph) — label propagation expressed with the framework's operators,
+/// hook/pointer-jump (Shiloach–Vishkin flavoured) as the fast parallel
+/// alternative, and serial union-find as the oracle.
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/operators/compute.hpp"
+#include "core/operators/filter.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t>
+struct cc_result {
+  std::vector<V> labels;  ///< labels[v] == labels[u] iff same component
+  std::size_t num_components = 0;
+  std::size_t iterations = 0;
+};
+
+namespace detail {
+
+template <typename V>
+std::size_t count_components(std::vector<V> const& labels) {
+  std::vector<V> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<std::size_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+}  // namespace detail
+
+/// Label propagation: every vertex starts with its own id; active vertices
+/// push their label along edges with atomic-min; vertices whose label
+/// improved join the next frontier.  Pure operators + enactor — the
+/// "algorithm as frontier program" formulation.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+cc_result<typename G::vertex_type> connected_components(P policy,
+                                                        G const& g) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using W = typename G::weight_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  cc_result<V> result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), V{0});
+  V* const labels = result.labels.data();
+
+  // All vertices start active.
+  std::vector<V> all(n);
+  std::iota(all.begin(), all.end(), V{0});
+  frontier::sparse_frontier<V> f(std::move(all));
+
+  auto const stats = enactor::bsp_loop(
+      std::move(f),
+      [&](frontier::sparse_frontier<V> in, std::size_t /*iteration*/) {
+        auto out = operators::neighbors_expand(
+            policy, g, in,
+            [labels](V const src, V const dst, E const, W const) {
+              V const l = atomic::load(&labels[src]);
+              return l < atomic::min(&labels[dst], l);
+            });
+        if constexpr (std::decay_t<P>::is_parallel)
+          operators::uniquify(policy, out, n);
+        else
+          operators::uniquify(policy, out);
+        return out;
+      },
+      enactor::frontier_empty{});
+
+  result.iterations = stats.iterations;
+  result.num_components = detail::count_components(result.labels);
+  return result;
+}
+
+/// Hook + pointer-jumping (Shiloach–Vishkin style): alternating rounds of
+/// edge hooks (parent[max] = min over each edge) and parallel pointer
+/// jumping until the parent forest is flat.  Converges in O(log V) rounds —
+/// the classic PRAM CC, here on the COO view.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_coo)
+cc_result<typename G::vertex_type> connected_components_hook(P policy,
+                                                             G const& g) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  cc_result<V> result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), V{0});
+  V* const parent = result.labels.data();
+
+  E const m = g.coo_num_edges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hook: for every edge (edge-parallel over the COO view), attach the
+    // larger root under the smaller.
+    std::vector<char> any(1, 0);
+    char* const any_flag = any.data();
+    auto const hook_body = [&](std::size_t i) {
+      E const e = static_cast<E>(i);
+      V const u = g.coo_source(e);
+      V const v = g.coo_dest(e);
+      V pu = atomic::load(&parent[u]);
+      V pv = atomic::load(&parent[v]);
+      if (pu == pv)
+        return;
+      V const hi = pu > pv ? pu : pv;
+      V const lo = pu > pv ? pv : pu;
+      // Hook hi's root under lo when hi is still a root (parent[hi]==hi).
+      if (atomic::cas(&parent[hi], hi, lo) == hi)
+        atomic::store(any_flag, char{1});
+    };
+    if constexpr (std::decay_t<P>::is_parallel) {
+      parallel::parallel_for(policy.pool(), std::size_t{0},
+                             static_cast<std::size_t>(m), hook_body,
+                             policy.grain);
+    } else {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
+        hook_body(i);
+    }
+    changed = any[0] != 0;
+
+    // Pointer jumping: flatten every chain to its root.
+    auto const jump_body = [&](std::size_t vi) {
+      V p = parent[vi];
+      while (p != parent[static_cast<std::size_t>(p)])
+        p = parent[static_cast<std::size_t>(p)];
+      parent[vi] = p;
+    };
+    if constexpr (std::decay_t<P>::is_parallel) {
+      parallel::parallel_for(policy.pool(), std::size_t{0}, n, jump_body,
+                             policy.grain);
+    } else {
+      for (std::size_t vi = 0; vi < n; ++vi)
+        jump_body(vi);
+    }
+    ++result.iterations;
+  }
+  result.num_components = detail::count_components(result.labels);
+  return result;
+}
+
+/// Serial union-find (path halving + union by label minimum) — the oracle.
+template <typename G>
+cc_result<typename G::vertex_type> connected_components_serial(G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  cc_result<V> result;
+  std::vector<V> parent(n);
+  std::iota(parent.begin(), parent.end(), V{0});
+
+  auto const find = [&parent](V x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  for (V u = 0; u < g.get_num_vertices(); ++u) {
+    for (auto const e : g.get_edges(u)) {
+      V const v = g.get_dest_vertex(e);
+      V const ru = find(u);
+      V const rv = find(v);
+      if (ru != rv) {
+        // Union by minimum label so results are canonical.
+        if (ru < rv)
+          parent[static_cast<std::size_t>(rv)] = ru;
+        else
+          parent[static_cast<std::size_t>(ru)] = rv;
+      }
+    }
+  }
+  result.labels.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    result.labels[v] = find(static_cast<V>(v));
+  result.num_components = detail::count_components(result.labels);
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file algorithms/geo.hpp
+/// \brief Geolocation inference ("geo", a Gunrock/essentials application):
+/// given a graph where some vertices have known coordinates, predict the
+/// rest by iteratively placing each unknown vertex at the spatial median
+/// (approximated by the component-wise mean direction on the sphere) of
+/// its located neighbors, until everyone reachable from a labeled vertex
+/// is placed.
+///
+/// Another fixed-point vertex program: the "frontier" is implicit (every
+/// unlabeled vertex with >= 1 located neighbor updates), convergence is
+/// "no vertex newly located AND positions stable within tolerance".
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/operators/reduce.hpp"
+#include "core/types.hpp"
+
+namespace essentials::algorithms {
+
+struct geo_point {
+  double latitude = 0.0;   ///< degrees
+  double longitude = 0.0;  ///< degrees
+  bool located = false;
+};
+
+struct geo_options {
+  std::size_t max_iterations = 50;
+  double tolerance_degrees = 1e-7;  ///< movement threshold for convergence
+};
+
+struct geo_result {
+  std::vector<geo_point> positions;
+  std::size_t located = 0;
+  std::size_t iterations = 0;
+};
+
+/// Great-circle distance in kilometres (haversine).
+inline double haversine_km(geo_point const& a, geo_point const& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  double const lat1 = a.latitude * kDegToRad;
+  double const lat2 = b.latitude * kDegToRad;
+  double const dlat = (b.latitude - a.latitude) * kDegToRad;
+  double const dlon = (b.longitude - a.longitude) * kDegToRad;
+  double const h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+/// Spherical mean of located neighbors (3-D unit-vector average) — robust
+/// across the antimeridian, unlike naive lat/long averaging.
+namespace detail {
+
+inline geo_point spherical_mean(double x, double y, double z) {
+  constexpr double kRadToDeg = 180.0 / 3.14159265358979323846;
+  double const norm = std::sqrt(x * x + y * y + z * z);
+  geo_point p;
+  if (norm < 1e-12)
+    return p;  // antipodal cancellation: stay unlocated
+  x /= norm;
+  y /= norm;
+  z /= norm;
+  p.latitude = std::asin(z) * kRadToDeg;
+  p.longitude = std::atan2(y, x) * kRadToDeg;
+  p.located = true;
+  return p;
+}
+
+}  // namespace detail
+
+/// Iterative geolocation.  `seeds` gives known positions (located==true
+/// entries are fixed and never move).
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+geo_result geolocate(P policy, G const& g, std::vector<geo_point> seeds,
+                     geo_options opt = {}) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  expects(seeds.size() == n, "geolocate: seed vector size mismatch");
+  geo_result result;
+  result.positions = std::move(seeds);
+  std::vector<geo_point> next(result.positions);
+
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  std::vector<char> fixed(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    fixed[v] = result.positions[v].located ? 1 : 0;
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    geo_point const* const cur = result.positions.data();
+    geo_point* const nxt = next.data();
+    char const* const anchored = fixed.data();
+    operators::compute_vertices(policy, g, [&g, cur, nxt, anchored,
+                                            kDegToRad](V v) {
+      if (anchored[v]) {
+        nxt[v] = cur[v];
+        return;
+      }
+      double x = 0, y = 0, z = 0;
+      std::size_t located_neighbors = 0;
+      for (auto const e : g.get_edges(v)) {
+        auto const& p = cur[static_cast<std::size_t>(g.get_dest_vertex(e))];
+        if (!p.located)
+          continue;
+        double const lat = p.latitude * kDegToRad;
+        double const lon = p.longitude * kDegToRad;
+        x += std::cos(lat) * std::cos(lon);
+        y += std::cos(lat) * std::sin(lon);
+        z += std::sin(lat);
+        ++located_neighbors;
+      }
+      nxt[v] = located_neighbors == 0 ? cur[v]
+                                      : detail::spherical_mean(x, y, z);
+    });
+
+    // Convergence: largest coordinate movement + newly-located count.
+    double const moved = operators::reduce_vertices(
+        policy, g, 0.0,
+        [cur, nxt](V v) {
+          if (!cur[v].located || !nxt[v].located)
+            return cur[v].located != nxt[v].located ? 1.0 : 0.0;
+          return std::max(std::abs(cur[v].latitude - nxt[v].latitude),
+                          std::abs(cur[v].longitude - nxt[v].longitude));
+        },
+        [](double a, double b) { return a > b ? a : b; });
+
+    result.positions.swap(next);
+    ++result.iterations;
+    if (moved < opt.tolerance_degrees)
+      break;
+  }
+
+  for (auto const& p : result.positions)
+    result.located += p.located;
+  return result;
+}
+
+}  // namespace essentials::algorithms

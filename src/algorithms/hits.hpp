@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file algorithms/hits.hpp
+/// \brief HITS (hubs & authorities, Kleinberg) — a second fixed-point
+/// vertex program: authority scores gather over in-edges (CSC), hub scores
+/// gather over out-edges (CSR), normalized each sweep.  Exercises both
+/// graph views in one algorithm.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/operators/reduce.hpp"
+#include "core/types.hpp"
+
+namespace essentials::algorithms {
+
+struct hits_options {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-10;  ///< L1 delta of (hub + authority) vectors
+};
+
+struct hits_result {
+  std::vector<double> hubs;
+  std::vector<double> authorities;
+  std::size_t iterations = 0;
+};
+
+/// HITS power iteration; requires both CSR and CSC views.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csr && G::has_csc)
+hits_result hits(P policy, G const& g, hits_options opt = {}) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  hits_result result;
+  if (n == 0)
+    return result;
+  result.hubs.assign(n, 1.0);
+  result.authorities.assign(n, 1.0);
+  std::vector<double> new_auth(n), new_hub(n);
+
+  auto const l2_normalize = [&](std::vector<double>& v) {
+    double const sq = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&v](V i) { return v[static_cast<std::size_t>(i)] *
+                           v[static_cast<std::size_t>(i)]; },
+        [](double a, double b) { return a + b; });
+    double const norm = std::sqrt(sq);
+    if (norm == 0.0)
+      return;
+    operators::compute_vertices(
+        policy, g, [&v, norm](V i) { v[static_cast<std::size_t>(i)] /= norm; });
+  };
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    // Authority(v) = sum of hub scores over in-neighbors (pull, CSC).
+    operators::compute_vertices(policy, g, [&](V v) {
+      double sum = 0.0;
+      for (auto const e : g.get_in_edges(v))
+        sum += result.hubs[static_cast<std::size_t>(g.get_in_source_vertex(e))];
+      new_auth[static_cast<std::size_t>(v)] = sum;
+    });
+    l2_normalize(new_auth);
+
+    // Hub(v) = sum of authority scores over out-neighbors (push view, CSR —
+    // but read-only gather along out-edges, so no atomics).
+    operators::compute_vertices(policy, g, [&](V v) {
+      double sum = 0.0;
+      for (auto const e : g.get_edges(v))
+        sum += new_auth[static_cast<std::size_t>(g.get_dest_vertex(e))];
+      new_hub[static_cast<std::size_t>(v)] = sum;
+    });
+    l2_normalize(new_hub);
+
+    double const delta = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&](V v) {
+          return std::abs(new_auth[static_cast<std::size_t>(v)] -
+                          result.authorities[static_cast<std::size_t>(v)]) +
+                 std::abs(new_hub[static_cast<std::size_t>(v)] -
+                          result.hubs[static_cast<std::size_t>(v)]);
+        },
+        [](double a, double b) { return a + b; });
+
+    result.authorities.swap(new_auth);
+    result.hubs.swap(new_hub);
+    ++result.iterations;
+    if (delta < opt.tolerance)
+      break;
+  }
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file algorithms/matching.hpp
+/// \brief Maximal matching on undirected graphs: parallel handshake
+/// matching (each round, mutually-proposing vertex pairs match — a
+/// symmetric variant of Luby's scheme) and the serial greedy oracle.
+///
+/// The maximal-matching property (no two matched edges share an endpoint;
+/// no unmatched edge has both endpoints free) is what tests assert; the
+/// matching itself differs between variants.
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "generators/random.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t>
+struct matching_result {
+  std::vector<V> mate;  ///< mate[v] = matched partner, invalid_vertex if free
+  std::size_t num_matched_edges = 0;
+  std::size_t rounds = 0;
+};
+
+/// Handshake matching: every free vertex points at its smallest-priority
+/// free neighbor; mutual pointers match.  Expected O(log n) rounds.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+matching_result<typename G::vertex_type> maximal_matching(
+    P policy, G const& g, std::uint64_t seed = 1) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  matching_result<V> result;
+  result.mate.assign(n, invalid_vertex<V>);
+  V* const mate = result.mate.data();
+
+  std::vector<std::uint64_t> priority(n);
+  generators::rng_t rng(seed);
+  for (auto& p : priority)
+    p = rng.next_u64();
+
+  std::vector<V> proposal(n, invalid_vertex<V>);
+  V* const prop = proposal.data();
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    frontier::sparse_frontier<V> free_vertices;
+    for (std::size_t v = 0; v < n; ++v)
+      if (mate[v] == invalid_vertex<V>)
+        free_vertices.active().push_back(static_cast<V>(v));
+
+    // Phase 1: each free vertex proposes to its best free neighbor
+    // (lowest priority value; ties by id).
+    operators::compute(policy, free_vertices, [&](V v) {
+      V best = invalid_vertex<V>;
+      for (auto const e : g.get_edges(v)) {
+        V const nb = g.get_dest_vertex(e);
+        if (nb == v || mate[nb] != invalid_vertex<V>)
+          continue;
+        if (best == invalid_vertex<V> ||
+            priority[static_cast<std::size_t>(nb)] <
+                priority[static_cast<std::size_t>(best)] ||
+            (priority[static_cast<std::size_t>(nb)] ==
+                 priority[static_cast<std::size_t>(best)] &&
+             nb < best))
+          best = nb;
+      }
+      prop[v] = best;
+    });
+
+    // Phase 2: mutual proposals match.  Both sides compute the same
+    // predicate, so the writes agree without synchronization.
+    std::vector<char> matched_now(n, 0);
+    char* const hit = matched_now.data();
+    operators::compute(policy, free_vertices, [&](V v) {
+      V const p = prop[v];
+      if (p != invalid_vertex<V> && prop[static_cast<std::size_t>(p)] == v) {
+        mate[v] = p;
+        hit[v] = 1;
+      }
+    });
+    for (std::size_t v = 0; v < n; ++v) {
+      if (hit[v]) {
+        progress = true;
+        if (static_cast<V>(v) < mate[v])
+          ++result.num_matched_edges;
+      }
+    }
+    ++result.rounds;
+    if (!progress)
+      break;
+  }
+  return result;
+}
+
+/// Serial greedy matching in edge order — the oracle for maximality.
+template <typename G>
+matching_result<typename G::vertex_type> maximal_matching_serial(G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  matching_result<V> result;
+  result.mate.assign(n, invalid_vertex<V>);
+  for (V u = 0; u < g.get_num_vertices(); ++u) {
+    if (result.mate[static_cast<std::size_t>(u)] != invalid_vertex<V>)
+      continue;
+    for (auto const e : g.get_edges(u)) {
+      V const v = g.get_dest_vertex(e);
+      if (v != u &&
+          result.mate[static_cast<std::size_t>(v)] == invalid_vertex<V>) {
+        result.mate[static_cast<std::size_t>(u)] = v;
+        result.mate[static_cast<std::size_t>(v)] = u;
+        ++result.num_matched_edges;
+        break;
+      }
+    }
+  }
+  result.rounds = 1;
+  return result;
+}
+
+/// Validity: mates are symmetric and adjacent (matching), and no edge has
+/// two free endpoints (maximality).
+template <typename G, typename V>
+bool is_valid_maximal_matching(G const& g, std::vector<V> const& mate) {
+  for (V v = 0; v < g.get_num_vertices(); ++v) {
+    V const m = mate[static_cast<std::size_t>(v)];
+    if (m != invalid_vertex<V>) {
+      if (mate[static_cast<std::size_t>(m)] != v)
+        return false;  // asymmetric
+      bool adjacent = false;
+      for (auto const e : g.get_edges(v))
+        adjacent |= (g.get_dest_vertex(e) == m);
+      if (!adjacent)
+        return false;
+    }
+  }
+  for (V u = 0; u < g.get_num_vertices(); ++u) {
+    if (mate[static_cast<std::size_t>(u)] != invalid_vertex<V>)
+      continue;
+    for (auto const e : g.get_edges(u)) {
+      V const v = g.get_dest_vertex(e);
+      if (v != u && mate[static_cast<std::size_t>(v)] == invalid_vertex<V>)
+        return false;  // u-v could still be matched
+    }
+  }
+  return true;
+}
+
+}  // namespace essentials::algorithms

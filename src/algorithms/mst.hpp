@@ -1,0 +1,224 @@
+#pragma once
+
+/// \file algorithms/mst.hpp
+/// \brief Minimum spanning forest: parallel Borůvka (the GPU-favoured MST,
+/// and a Gunrock/essentials app) and Kruskal as the serial oracle.
+///
+/// Borůvka rounds: every component selects its minimum-weight outgoing
+/// edge (parallel over vertices, atomic-min into the component root's
+/// slot), selected edges join the forest and hook components together,
+/// pointer jumping flattens the hooks.  O(log V) rounds, each round built
+/// from compute/atomic primitives — another algorithm expressed with the
+/// essential components only.
+///
+/// Input must be undirected (symmetric CSR).  Ties are broken by edge id,
+/// making the forest deterministic even with duplicate weights (and
+/// preventing hook cycles).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+struct mst_result {
+  /// Chosen edges as (src, dst) pairs in CSR edge-id order; each tree edge
+  /// appears once (in one of its two directions).
+  std::vector<std::pair<V, V>> edges;
+  double total_weight = 0.0;
+  std::size_t num_trees = 0;  ///< number of components in the forest
+  std::size_t rounds = 0;
+};
+
+namespace detail {
+
+/// Pack (weight, edge id) into one u64 so atomic-min selects the lightest
+/// edge with deterministic id tie-breaking.  Weights must be >= 0 (IEEE
+/// float order == integer order for non-negative floats).
+inline std::uint64_t pack_choice(float w, std::uint32_t e) {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(w));
+  std::memcpy(&bits, &w, sizeof(bits));
+  return (static_cast<std::uint64_t>(bits) << 32) | e;
+}
+inline std::uint32_t unpack_edge(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed);
+}
+
+}  // namespace detail
+
+/// Parallel Borůvka minimum spanning forest.  Weights must be
+/// non-negative; the graph must be symmetric.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+mst_result<typename G::vertex_type, typename G::edge_type,
+           typename G::weight_type>
+boruvka_mst(P policy, G const& g) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  mst_result<V, E, typename G::weight_type> result;
+  if (n == 0)
+    return result;
+
+  std::vector<V> parent(n);
+  std::iota(parent.begin(), parent.end(), V{0});
+  V* const par = parent.data();
+  auto const find = [par](V x) {
+    while (par[static_cast<std::size_t>(x)] != x)
+      x = par[static_cast<std::size_t>(x)];
+    return x;
+  };
+
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  std::vector<std::uint64_t> choice(n, kNone);
+  std::uint64_t* const pick = choice.data();
+
+  for (;;) {
+    // Phase 1: every vertex offers its lightest cross-component edge to
+    // its component root (atomic-min on the packed (weight, edge) key).
+    std::fill(choice.begin(), choice.end(), kNone);
+    operators::compute_vertices(policy, g, [&g, par, pick, find](V v) {
+      V const root_v = find(v);
+      for (auto const e : g.get_edges(v)) {
+        V const u = g.get_dest_vertex(e);
+        if (find(u) == root_v)
+          continue;  // internal edge
+        auto const key = detail::pack_choice(
+            static_cast<float>(g.get_edge_weight(e)),
+            static_cast<std::uint32_t>(e));
+        atomic::min(&pick[static_cast<std::size_t>(root_v)], key);
+      }
+    });
+
+    // Phase 2 (serial, O(V)): apply the chosen edges — dedupe mutual
+    // picks, add to the forest, hook roots.
+    bool hooked = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (choice[r] == kNone)
+        continue;
+      E const e = static_cast<E>(detail::unpack_edge(choice[r]));
+      V const src = g.get_source_vertex(e);
+      V const dst = g.get_dest_vertex(e);
+      V const a = find(src);
+      V const b = find(dst);
+      if (a == b)
+        continue;  // the mirrored pick already merged these components
+      result.edges.emplace_back(src, dst);
+      result.total_weight += static_cast<double>(g.get_edge_weight(e));
+      // Hook the larger root under the smaller (acyclic by ordering).
+      if (a < b)
+        parent[static_cast<std::size_t>(b)] = a;
+      else
+        parent[static_cast<std::size_t>(a)] = b;
+      hooked = true;
+    }
+    ++result.rounds;
+    if (!hooked)
+      break;
+
+    // Phase 3: pointer jumping to flatten before the next round.
+    for (std::size_t v = 0; v < n; ++v) {
+      V root = find(static_cast<V>(v));
+      parent[v] = root;
+    }
+  }
+
+  // Tree count = distinct roots.
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    roots += (parent[v] == static_cast<V>(v));
+  result.num_trees = roots;
+  return result;
+}
+
+/// Kruskal with union-find — the serial oracle.  Returns the same
+/// total_weight for any MST when weights are distinct; with ties the
+/// total weight is still unique (standard exchange argument), so tests
+/// compare weights, not edge sets.
+template <typename G>
+mst_result<typename G::vertex_type, typename G::edge_type,
+           typename G::weight_type>
+kruskal_mst(G const& g) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  mst_result<V, E, typename G::weight_type> result;
+
+  std::vector<E> order(static_cast<std::size_t>(g.get_num_edges()));
+  std::iota(order.begin(), order.end(), E{0});
+  std::stable_sort(order.begin(), order.end(), [&g](E a, E b) {
+    return g.get_edge_weight(a) < g.get_edge_weight(b);
+  });
+
+  std::vector<V> parent(n);
+  std::iota(parent.begin(), parent.end(), V{0});
+  auto const find = [&parent](V x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  for (E const e : order) {
+    V const u = g.get_source_vertex(e);
+    V const v = g.get_dest_vertex(e);
+    V const ru = find(u);
+    V const rv = find(v);
+    if (ru == rv)
+      continue;
+    parent[static_cast<std::size_t>(std::max(ru, rv))] = std::min(ru, rv);
+    result.edges.emplace_back(u, v);
+    result.total_weight += static_cast<double>(g.get_edge_weight(e));
+  }
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    roots += (find(static_cast<V>(v)) == static_cast<V>(v));
+  result.num_trees = roots;
+  result.rounds = 1;
+  return result;
+}
+
+/// Forest validity: edges exist in the graph, are acyclic, and the forest
+/// spans — edge count == V - num_trees.
+template <typename G, typename V>
+bool is_valid_spanning_forest(G const& g,
+                              std::vector<std::pair<V, V>> const& edges,
+                              std::size_t num_trees) {
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  if (edges.size() + num_trees != n)
+    return false;
+  std::vector<V> parent(n);
+  std::iota(parent.begin(), parent.end(), V{0});
+  auto const find = [&parent](V x) {
+    while (parent[static_cast<std::size_t>(x)] != x)
+      x = parent[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (auto const& [u, v] : edges) {
+    bool exists = false;
+    for (auto const e : g.get_edges(u))
+      exists |= (g.get_dest_vertex(e) == v);
+    if (!exists)
+      return false;
+    V const ru = find(u);
+    V const rv = find(v);
+    if (ru == rv)
+      return false;  // cycle
+    parent[static_cast<std::size_t>(ru)] = rv;
+  }
+  return true;
+}
+
+}  // namespace essentials::algorithms

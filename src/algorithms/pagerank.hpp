@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file algorithms/pagerank.hpp
+/// \brief PageRank — the canonical *fixed-point* vertex program, where the
+/// loop's convergence condition is a value measurement (L1 delta of the
+/// rank vector) rather than frontier emptiness.
+///
+/// Two directions, identical fixed point:
+///  - `pagerank` (pull, CSC): each vertex gathers rank/out-degree from its
+///    in-neighbors — no atomics, the textbook parallel formulation.
+///  - `pagerank_push` (push, CSR): each vertex scatters its contribution to
+///    out-neighbors with atomic adds — the shape a push-only system uses.
+/// Plus `pagerank_serial`, the oracle.
+///
+/// Dangling vertices (out-degree 0) redistribute their rank uniformly, so
+/// the rank vector stays a probability distribution (sums to 1).
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/operators/reduce.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+struct pagerank_options {
+  double damping = 0.85;
+  double tolerance = 1e-9;      ///< L1 convergence threshold
+  std::size_t max_iterations = 100;
+};
+
+template <typename Rank = double>
+struct pagerank_result {
+  std::vector<Rank> ranks;
+  std::size_t iterations = 0;
+  double final_delta = 0.0;  ///< L1 delta of the last sweep
+};
+
+/// Pull PageRank (CSC gather).  Requires the CSC view; out-degrees come
+/// from the CSR view when present, else from a CSC column scan.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csc && G::has_csr)
+pagerank_result<> pagerank(P policy, G const& g, pagerank_options opt = {}) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  pagerank_result<> result;
+  if (n == 0)
+    return result;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  std::vector<double> out_contrib(n, 0.0);
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    // Precompute rank/out-degree, and pool dangling mass.
+    double const dangling = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&](V v) {
+          auto const deg = g.get_out_degree(v);
+          if (deg == 0)
+            return rank[static_cast<std::size_t>(v)];
+          out_contrib[static_cast<std::size_t>(v)] =
+              rank[static_cast<std::size_t>(v)] / static_cast<double>(deg);
+          return 0.0;
+        },
+        [](double a, double b) { return a + b; });
+
+    double const base = (1.0 - opt.damping) / static_cast<double>(n) +
+                        opt.damping * dangling / static_cast<double>(n);
+
+    operators::compute_vertices(policy, g, [&](V v) {
+      double sum = 0.0;
+      for (auto const e : g.get_in_edges(v))
+        sum += out_contrib[static_cast<std::size_t>(g.get_in_source_vertex(e))];
+      next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
+    });
+
+    double const delta = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&](V v) {
+          return std::abs(next[static_cast<std::size_t>(v)] -
+                          rank[static_cast<std::size_t>(v)]);
+        },
+        [](double a, double b) { return a + b; });
+
+    rank.swap(next);
+    ++result.iterations;
+    result.final_delta = delta;
+    if (delta < opt.tolerance)
+      break;
+  }
+  result.ranks = std::move(rank);
+  return result;
+}
+
+/// Push PageRank (CSR scatter with atomic adds) — same fixed point as the
+/// pull variant; exists to demonstrate (and measure, bench_push_pull) the
+/// push/pull duality on a non-traversal algorithm.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+pagerank_result<> pagerank_push(P policy, G const& g,
+                                pagerank_options opt = {}) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  pagerank_result<> result;
+  if (n == 0)
+    return result;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    double const dangling = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&](V v) {
+          return g.get_out_degree(v) == 0 ? rank[static_cast<std::size_t>(v)]
+                                          : 0.0;
+        },
+        [](double a, double b) { return a + b; });
+    double const base = (1.0 - opt.damping) / static_cast<double>(n) +
+                        opt.damping * dangling / static_cast<double>(n);
+
+    operators::compute_vertices(policy, g,
+                                [&](V v) { next[static_cast<std::size_t>(v)] = base; });
+
+    operators::compute_vertices(policy, g, [&](V v) {
+      auto const deg = g.get_out_degree(v);
+      if (deg == 0)
+        return;
+      double const contrib = opt.damping *
+                             rank[static_cast<std::size_t>(v)] /
+                             static_cast<double>(deg);
+      for (auto const e : g.get_edges(v))
+        atomic::add(&next[static_cast<std::size_t>(g.get_dest_vertex(e))],
+                    contrib);
+    });
+
+    double const delta = operators::reduce_vertices(
+        policy, g, 0.0,
+        [&](V v) {
+          return std::abs(next[static_cast<std::size_t>(v)] -
+                          rank[static_cast<std::size_t>(v)]);
+        },
+        [](double a, double b) { return a + b; });
+
+    rank.swap(next);
+    ++result.iterations;
+    result.final_delta = delta;
+    if (delta < opt.tolerance)
+      break;
+  }
+  result.ranks = std::move(rank);
+  return result;
+}
+
+/// Serial oracle (identical arithmetic to the pull variant).
+template <typename G>
+  requires (G::has_csc && G::has_csr)
+pagerank_result<> pagerank_serial(G const& g, pagerank_options opt = {}) {
+  return pagerank(execution::seq, g, opt);
+}
+
+}  // namespace essentials::algorithms

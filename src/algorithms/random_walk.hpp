@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file algorithms/random_walk.hpp
+/// \brief Parallel random walks: uniform and weighted next-hop sampling,
+/// batched over many walkers — the sampling primitive behind node2vec-style
+/// embeddings and Monte-Carlo PageRank.
+///
+/// Each walker owns a deterministic RNG stream (seed ⊕ walker id via
+/// splitmix64), so results are reproducible regardless of the execution
+/// policy or lane assignment — the property the tests pin down.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "generators/random.hpp"
+
+namespace essentials::algorithms {
+
+struct random_walk_options {
+  std::size_t num_walks = 16;   ///< walkers per start vertex
+  std::size_t walk_length = 8;  ///< steps per walk (vertices visited - 1)
+  bool weighted = false;        ///< sample next hop by edge weight
+  std::uint64_t seed = 1;
+};
+
+template <typename V = vertex_t>
+struct random_walk_result {
+  /// walks[w] = the w-th walk's vertex sequence; a walk stops early at a
+  /// sink (no out-edges), so sequences may be shorter than walk_length + 1.
+  std::vector<std::vector<V>> walks;
+};
+
+/// Run `opt.num_walks` walks from every vertex in `starts`.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+random_walk_result<typename G::vertex_type> random_walks(
+    P policy, G const& g,
+    std::vector<typename G::vertex_type> const& starts,
+    random_walk_options opt = {}) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+
+  random_walk_result<V> result;
+  std::size_t const total = starts.size() * opt.num_walks;
+  result.walks.assign(total, {});
+
+  auto const walk_body = [&](std::size_t w) {
+    V const start = starts[w / opt.num_walks];
+    expects(start >= 0 && start < g.get_num_vertices(),
+            "random_walks: start vertex out of range");
+    // Per-walker stream: mix the walker index into the seed so every walk
+    // is independent and lane-assignment-invariant (rng_t itself runs the
+    // raw seed through splitmix64 twice).
+    generators::rng_t rng(opt.seed ^
+                          (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(w) + 1)));
+
+    auto& path = result.walks[w];
+    path.reserve(opt.walk_length + 1);
+    V v = start;
+    path.push_back(v);
+    for (std::size_t step = 0; step < opt.walk_length; ++step) {
+      auto const edges = g.get_edges(v);
+      auto const degree = edges.size();
+      if (degree == 0)
+        break;  // sink: the walk ends early
+      auto const base = *edges.begin();
+      if (!opt.weighted) {
+        auto const pick = rng.next_below(degree);
+        v = g.get_dest_vertex(
+            static_cast<typename G::edge_type>(base + pick));
+      } else {
+        // Weighted reservoir-free sampling: draw in [0, total weight).
+        W total_w{0};
+        for (auto const e : edges)
+          total_w += g.get_edge_weight(e);
+        auto target = static_cast<W>(rng.next_double() *
+                                     static_cast<double>(total_w));
+        V chosen = g.get_dest_vertex(base);
+        for (auto const e : edges) {
+          W const we = g.get_edge_weight(e);
+          if (target < we) {
+            chosen = g.get_dest_vertex(e);
+            break;
+          }
+          target -= we;
+        }
+        v = chosen;
+      }
+      path.push_back(v);
+    }
+  };
+
+  if constexpr (std::decay_t<P>::is_parallel) {
+    parallel::parallel_for(policy.pool(), std::size_t{0}, total, walk_body,
+                           /*grain=*/8);
+  } else {
+    for (std::size_t w = 0; w < total; ++w)
+      walk_body(w);
+  }
+  return result;
+}
+
+/// Visit-frequency estimate from a batch of walks (normalized histogram) —
+/// the Monte-Carlo PageRank estimator.
+template <typename V>
+std::vector<double> visit_frequencies(random_walk_result<V> const& r,
+                                      std::size_t num_vertices) {
+  std::vector<double> freq(num_vertices, 0.0);
+  std::size_t total = 0;
+  for (auto const& walk : r.walks)
+    for (V const v : walk) {
+      freq[static_cast<std::size_t>(v)] += 1.0;
+      ++total;
+    }
+  if (total > 0)
+    for (auto& f : freq)
+      f /= static_cast<double>(total);
+  return freq;
+}
+
+}  // namespace essentials::algorithms

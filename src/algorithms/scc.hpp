@@ -1,0 +1,260 @@
+#pragma once
+
+/// \file algorithms/scc.hpp
+/// \brief Strongly connected components: the parallel forward–backward
+/// (FW–BW) algorithm with trimming, built from the framework's push and
+/// pull traversals, plus Tarjan's serial algorithm as the oracle.
+///
+/// FW–BW is the canonical "composed traversals" algorithm: pick a pivot,
+/// compute its forward reachable set with a push BFS (CSR) and its backward
+/// reachable set with the same BFS over the transposed structure (CSC) —
+/// the intersection is the pivot's SCC; recurse on the three remainders.
+/// Trimming peels size-1 SCCs (in/out degree 0 within the active set)
+/// first, which collapses the long tail real graphs have.  The recursion
+/// is managed as an explicit work list of vertex partitions.
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/types.hpp"
+#include "parallel/atomic_bitset.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t>
+struct scc_result {
+  std::vector<V> component;  ///< component[v] == component[u] iff same SCC
+  std::size_t num_components = 0;
+};
+
+namespace detail {
+
+/// BFS-reachable subset of `active` starting from `pivot`, following
+/// out-edges when `forward`, in-edges otherwise.  `active` is a membership
+/// mask limiting the traversal to the current partition.
+template <typename G, typename V>
+std::vector<char> reach_within(G const& g, V pivot,
+                               std::vector<char> const& active,
+                               bool forward) {
+  std::vector<char> seen(active.size(), 0);
+  seen[static_cast<std::size_t>(pivot)] = 1;
+  std::vector<V> stack{pivot};
+  while (!stack.empty()) {
+    V const u = stack.back();
+    stack.pop_back();
+    if (forward) {
+      for (auto const e : g.get_edges(u)) {
+        V const v = g.get_dest_vertex(e);
+        if (active[static_cast<std::size_t>(v)] &&
+            !seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          stack.push_back(v);
+        }
+      }
+    } else {
+      for (auto const e : g.get_in_edges(u)) {
+        V const v = g.get_in_source_vertex(e);
+        if (active[static_cast<std::size_t>(v)] &&
+            !seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace detail
+
+/// Parallel-structured FW–BW–Trim SCC.  Requires CSR + CSC views.  The
+/// per-partition reachability sweeps run serially here (partitions are
+/// independent, trimming is the parallel-friendly part); the algorithmic
+/// structure matches the GPU formulation.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csr && G::has_csc)
+scc_result<typename G::vertex_type> strongly_connected_components(
+    P policy, G const& g) {
+  using V = typename G::vertex_type;
+  (void)policy;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  scc_result<V> result;
+  result.component.assign(n, invalid_vertex<V>);
+  V next_label = 0;
+
+  // Work list of partitions, each a membership mask.  Start with all
+  // vertices.
+  std::vector<std::vector<char>> worklist;
+  worklist.emplace_back(n, 1);
+
+  while (!worklist.empty()) {
+    std::vector<char> active = std::move(worklist.back());
+    worklist.pop_back();
+
+    // --- Trim: repeatedly peel vertices with no in- or out-neighbors
+    // inside the partition; each is its own SCC.
+    bool trimmed = true;
+    while (trimmed) {
+      trimmed = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!active[v])
+          continue;
+        bool has_in = false, has_out = false;
+        for (auto const e : g.get_edges(static_cast<V>(v))) {
+          V const dst = g.get_dest_vertex(e);
+          if (active[static_cast<std::size_t>(dst)] &&
+              dst != static_cast<V>(v)) {
+            has_out = true;
+            break;
+          }
+        }
+        if (has_out) {
+          for (auto const e : g.get_in_edges(static_cast<V>(v))) {
+            V const src = g.get_in_source_vertex(e);
+            if (active[static_cast<std::size_t>(src)] &&
+                src != static_cast<V>(v)) {
+              has_in = true;
+              break;
+            }
+          }
+        }
+        if (!has_in || !has_out) {
+          result.component[v] = next_label++;
+          active[v] = 0;
+          trimmed = true;
+        }
+      }
+    }
+
+    // Find a pivot.
+    V pivot = invalid_vertex<V>;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (active[v]) {
+        pivot = static_cast<V>(v);
+        break;
+      }
+    }
+    if (pivot == invalid_vertex<V>)
+      continue;  // partition fully trimmed
+
+    // --- FW and BW reachability within the partition.
+    auto const fw = detail::reach_within(g, pivot, active, /*forward=*/true);
+    auto const bw = detail::reach_within(g, pivot, active, /*forward=*/false);
+
+    // SCC(pivot) = FW ∩ BW; split the rest into three partitions.
+    std::vector<char> fw_only(n, 0), bw_only(n, 0), rest(n, 0);
+    bool any_fw = false, any_bw = false, any_rest = false;
+    V const label = next_label++;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!active[v])
+        continue;
+      if (fw[v] && bw[v]) {
+        result.component[v] = label;
+      } else if (fw[v]) {
+        fw_only[v] = 1;
+        any_fw = true;
+      } else if (bw[v]) {
+        bw_only[v] = 1;
+        any_bw = true;
+      } else {
+        rest[v] = 1;
+        any_rest = true;
+      }
+    }
+    if (any_fw)
+      worklist.push_back(std::move(fw_only));
+    if (any_bw)
+      worklist.push_back(std::move(bw_only));
+    if (any_rest)
+      worklist.push_back(std::move(rest));
+  }
+
+  result.num_components = static_cast<std::size_t>(next_label);
+  return result;
+}
+
+/// Tarjan's algorithm (iterative, explicit stack) — the serial oracle.
+template <typename G>
+scc_result<typename G::vertex_type> strongly_connected_components_serial(
+    G const& g) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  scc_result<V> result;
+  result.component.assign(n, invalid_vertex<V>);
+
+  std::vector<V> index(n, invalid_vertex<V>), lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<V> stack;
+  V next_index = 0;
+  V next_label = 0;
+
+  using edge_iter_t =
+      decltype(std::declval<G const&>().get_edges(V{}).begin());
+  struct frame_t {
+    V vertex;
+    edge_iter_t edge, end;
+  };
+  std::vector<frame_t> call_stack;
+
+  for (V root = 0; root < g.get_num_vertices(); ++root) {
+    if (index[static_cast<std::size_t>(root)] != invalid_vertex<V>)
+      continue;
+    auto const root_edges = g.get_edges(root);
+    call_stack.push_back({root, root_edges.begin(), root_edges.end()});
+    index[static_cast<std::size_t>(root)] =
+        lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = 1;
+
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.back();
+      V const v = frame.vertex;
+      if (frame.edge != frame.end) {
+        V const w = g.get_dest_vertex(*frame.edge);
+        ++frame.edge;
+        if (index[static_cast<std::size_t>(w)] == invalid_vertex<V>) {
+          auto const w_edges = g.get_edges(w);
+          call_stack.push_back({w, w_edges.begin(), w_edges.end()});
+          index[static_cast<std::size_t>(w)] =
+              lowlink[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = 1;
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        if (lowlink[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          for (;;) {
+            V const w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            result.component[static_cast<std::size_t>(w)] = next_label;
+            if (w == v)
+              break;
+          }
+          ++next_label;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          V const parent = call_stack.back().vertex;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)],
+                       lowlink[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+  }
+  result.num_components = static_cast<std::size_t>(next_label);
+  return result;
+}
+
+}  // namespace essentials::algorithms

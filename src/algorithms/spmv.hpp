@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file algorithms/spmv.hpp
+/// \brief Sparse matrix-vector multiply over the graph views — the bridge
+/// the paper's overview draws to linear-algebra-based graph analytics
+/// ("the duality of graphs and sparse matrices can be exploited even in the
+/// native-graph approach").  y = A x with A the graph's adjacency (CSR row
+/// gather) or its transpose (CSC column scatter).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+/// y[v] = sum over out-edges (v, u): w(v,u) * x[u] — row-parallel CSR
+/// gather, no atomics.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+std::vector<double> spmv(P policy, G const& g, std::vector<double> const& x) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  expects(x.size() == n, "spmv: dimension mismatch");
+  std::vector<double> y(n, 0.0);
+  operators::compute_vertices(policy, g, [&](V v) {
+    double sum = 0.0;
+    for (auto const e : g.get_edges(v))
+      sum += static_cast<double>(g.get_edge_weight(e)) *
+             x[static_cast<std::size_t>(g.get_dest_vertex(e))];
+    y[static_cast<std::size_t>(v)] = sum;
+  });
+  return y;
+}
+
+/// y = A^T x via CSR scatter with atomic adds — the push formulation, same
+/// result as spmv over the transposed graph.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+std::vector<double> spmv_transpose(P policy, G const& g,
+                                   std::vector<double> const& x) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  expects(x.size() == n, "spmv_transpose: dimension mismatch");
+  std::vector<double> y(n, 0.0);
+  double* const out = y.data();
+  operators::compute_vertices(policy, g, [&, out](V v) {
+    double const xv = x[static_cast<std::size_t>(v)];
+    for (auto const e : g.get_edges(v))
+      atomic::add(&out[static_cast<std::size_t>(g.get_dest_vertex(e))],
+                  static_cast<double>(g.get_edge_weight(e)) * xv);
+  });
+  return y;
+}
+
+/// Serial reference.
+template <typename G>
+std::vector<double> spmv_serial(G const& g, std::vector<double> const& x) {
+  return spmv(execution::seq, g, x);
+}
+
+}  // namespace essentials::algorithms

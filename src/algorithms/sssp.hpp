@@ -1,0 +1,424 @@
+#pragma once
+
+/// \file algorithms/sssp.hpp
+/// \brief Single-source shortest paths — the paper's worked example
+/// (Listing 4), in every timing/communication/direction variant the
+/// abstraction supports, plus the serial textbook baselines the parallel
+/// versions are validated against.
+///
+/// Variants:
+///  - `sssp` (push, BSP, shared memory): Listing 4 verbatim — sparse
+///    frontier, `neighbors_expand` with the atomic-min relaxation
+///    condition, `while (f.size() != 0)` loop.  Policy-parameterized.
+///  - `sssp_pull` (pull, BSP): dense frontiers over the CSC view.
+///  - `sssp_async` (asynchronous, shared memory): queue frontier +
+///    `async_loop`; no barriers anywhere, convergence by quiescence.
+///  - `sssp_message_passing`: vertices partitioned across mpsim ranks; all
+///    relaxations of remote vertices travel as (vertex, distance) messages.
+///  - Baselines: `dijkstra` (binary heap, the exact oracle) and
+///    `bellman_ford` (the textbook bulk-relaxation SSSP).
+///
+/// Weights must be non-negative for the label-correcting parallel variants
+/// to terminate; this matches the paper's (and Gunrock's) SSSP.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/operators/filter.hpp"
+#include "core/types.hpp"
+#include "mpsim/communicator.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+/// Result of an SSSP run: distances (infinity_v for unreachable) and loop
+/// telemetry.
+template <typename W = weight_t>
+struct sssp_result {
+  std::vector<W> distances;
+  std::size_t iterations = 0;  ///< supersteps (async variants report 0)
+};
+
+// ---------------------------------------------------------------------------
+// Push BSP — paper Listing 4
+// ---------------------------------------------------------------------------
+
+/// Parallel SSSP, Listing 4: initialize distances, seed the frontier with
+/// the source, and loop `neighbors_expand` with the atomic-min relaxation
+/// condition until the frontier drains.  `uniquify` compresses the output
+/// frontier each superstep so repeated discoveries of a vertex cost one
+/// future expansion, not many.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+sssp_result<typename G::weight_type> sssp(P policy, G const& g,
+                                          typename G::vertex_type source) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "sssp: source out of range");
+
+  sssp_result<W> result;
+  result.distances.assign(static_cast<std::size_t>(g.get_num_vertices()),
+                          infinity_v<W>);
+  result.distances[static_cast<std::size_t>(source)] = W{0};
+  W* const dist = result.distances.data();
+
+  frontier::sparse_frontier<V> f;
+  f.add_vertex(source);
+
+  auto const stats = enactor::bsp_loop(
+      std::move(f),
+      [&](frontier::sparse_frontier<V> in, std::size_t /*iteration*/) {
+        // Expand the frontier with the user-defined condition for SSSP —
+        // Listing 4's lambda: relax, and keep the neighbor iff our
+        // relaxation improved its distance.
+        auto out = operators::neighbors_expand(
+            policy, g, in,
+            [dist](V const src, V const dst, E const /*edge*/, W const weight) {
+              W const new_d = dist[src] + weight;
+              // atomic::min updates dist[dst] with the minimum of new_d and
+              // its current value, then returns the old value.
+              W const curr_d = atomic::min(&dist[dst], new_d);
+              return new_d < curr_d;
+            });
+        if constexpr (std::decay_t<P>::is_parallel)
+          operators::uniquify(policy, out,
+                              static_cast<std::size_t>(g.get_num_vertices()));
+        else
+          operators::uniquify(policy, out);
+        return out;
+      },
+      enactor::frontier_empty{});
+  result.iterations = stats.iterations;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Pull BSP
+// ---------------------------------------------------------------------------
+
+/// Pull-based SSSP over the transposed (CSC) structure: every vertex scans
+/// its in-edges for active predecessors and relaxes through them.  Dense
+/// frontiers throughout — the representation pull traversal wants, since it
+/// queries membership per in-edge.  No atomics are needed on the relaxation
+/// because each vertex's distance is written only by the lane that owns the
+/// vertex in the pull scan.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csc)
+sssp_result<typename G::weight_type> sssp_pull(
+    P policy, G const& g, typename G::vertex_type source) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "sssp_pull: source out of range");
+
+  sssp_result<W> result;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  result.distances.assign(n, infinity_v<W>);
+  result.distances[static_cast<std::size_t>(source)] = W{0};
+  W* const dist = result.distances.data();
+
+  frontier::dense_frontier<V> f(n);
+  f.add_vertex(source);
+
+  auto const stats = enactor::bsp_loop(
+      std::move(f),
+      [&](frontier::dense_frontier<V> in, std::size_t /*iteration*/) {
+        // Pull: dst relaxes itself through every active in-neighbor.  The
+        // condition writes dist[dst] without atomics — in the pull scan,
+        // vertex dst is processed by exactly one lane.
+        return operators::advance_pull<false>(
+            policy, g, in,
+            [dist](V const src, V const dst, E const /*edge*/, W const weight) {
+              if (dist[src] == infinity_v<W>)
+                return false;
+              W const new_d = dist[src] + weight;
+              if (new_d < dist[dst]) {
+                dist[dst] = new_d;
+                return true;
+              }
+              return false;
+            });
+      },
+      enactor::frontier_empty{});
+  result.iterations = stats.iterations;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous (queue frontier)
+// ---------------------------------------------------------------------------
+
+/// Asynchronous SSSP: the frontier is a concurrent work queue; `workers`
+/// consumers relax out-edges of popped vertices and push improved neighbors
+/// straight back — no supersteps, no barriers.  Terminates at quiescence.
+/// The same relaxation lambda as the BSP version runs against the same
+/// shared distance array; only the *timing model* changed, which is the
+/// point of §III-A.
+template <typename G>
+sssp_result<typename G::weight_type> sssp_async(
+    G const& g, typename G::vertex_type source, std::size_t workers = 4) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "sssp_async: source out of range");
+
+  sssp_result<W> result;
+  result.distances.assign(static_cast<std::size_t>(g.get_num_vertices()),
+                          infinity_v<W>);
+  result.distances[static_cast<std::size_t>(source)] = W{0};
+  W* const dist = result.distances.data();
+
+  frontier::async_queue_frontier<V> f;
+  f.add_vertex(source);
+  enactor::async_loop(f, workers, [&g, dist, &f](V const v) {
+    // Snapshot our current distance; a stale (larger) snapshot only causes
+    // a failed relaxation, never a wrong result.
+    W const d_v = atomic::load(&dist[v]);
+    for (auto const e : g.get_edges(v)) {
+      V const n = g.get_dest_vertex(e);
+      W const new_d = d_v + g.get_edge_weight(e);
+      W const curr_d = atomic::min(&dist[n], new_d);
+      if (new_d < curr_d)
+        f.add_vertex(n);
+    }
+  });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Message passing (mpsim ranks)
+// ---------------------------------------------------------------------------
+
+/// Message-passing SSSP: vertices are partitioned across `num_ranks` by
+/// `owner` (default: v mod P, the random-partition heuristic).  Each rank
+/// keeps distances only for the vertices it owns; a relaxation of a remote
+/// vertex is shipped as a (vertex, candidate-distance) message.  The BSP
+/// supersteps end with an all-reduce of the global frontier size — the
+/// shared-nothing flavour of Listing 4's convergence condition.
+///
+/// The full distance vector (assembled by rank 0 via messages) is returned.
+template <typename G>
+sssp_result<typename G::weight_type> sssp_message_passing(
+    G const& g, typename G::vertex_type source, int num_ranks = 4,
+    std::function<int(typename G::vertex_type)> owner = {}) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+  static_assert(sizeof(W) <= sizeof(std::uint32_t),
+                "weights packed into u64 message words");
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "sssp_message_passing: source out of range");
+  if (!owner)
+    owner = [num_ranks](V v) { return static_cast<int>(v % num_ranks); };
+
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  sssp_result<W> result;
+  result.distances.assign(n, infinity_v<W>);
+  std::size_t iterations = 0;
+
+  constexpr int kTagRelax = 1;
+  constexpr int kTagGather = 2;
+
+  auto const pack = [](V v, W d) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+           bits;
+  };
+  auto const unpack_vertex = [](std::uint64_t word) {
+    return static_cast<V>(word >> 32);
+  };
+  auto const unpack_weight = [](std::uint64_t word) {
+    W d;
+    std::uint32_t const bits = static_cast<std::uint32_t>(word);
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  };
+
+  mpsim::communicator::run(num_ranks, [&](mpsim::communicator& comm, int rank) {
+    // Rank-private state: distances of owned vertices only (keyed by global
+    // id for simplicity; unowned slots stay untouched).
+    std::vector<W> dist(n, infinity_v<W>);
+    std::vector<V> active;
+    if (owner(source) == rank) {
+      dist[static_cast<std::size_t>(source)] = W{0};
+      active.push_back(source);
+    }
+
+    std::vector<std::vector<std::uint64_t>> outgoing(
+        static_cast<std::size_t>(comm.size()));
+    int superstep = 0;
+    for (;;) {
+      // Relax out-edges of owned active vertices.
+      std::vector<V> next;
+      for (V const v : active) {
+        W const d_v = dist[static_cast<std::size_t>(v)];
+        for (auto const e : g.get_edges(v)) {
+          V const dst = g.get_dest_vertex(e);
+          W const new_d = d_v + g.get_edge_weight(e);
+          int const dst_rank = owner(dst);
+          if (dst_rank == rank) {
+            if (new_d < dist[static_cast<std::size_t>(dst)]) {
+              dist[static_cast<std::size_t>(dst)] = new_d;
+              next.push_back(dst);
+            }
+          } else {
+            outgoing[static_cast<std::size_t>(dst_rank)].push_back(
+                pack(dst, new_d));
+          }
+        }
+      }
+      // Exchange relaxation messages (everyone sends to everyone, possibly
+      // empty, so receives are deterministic).
+      int const tag = kTagRelax + 2 * superstep;
+      for (int dst = 0; dst < comm.size(); ++dst) {
+        if (dst == rank)
+          continue;
+        comm.send(rank, dst, tag,
+                  std::move(outgoing[static_cast<std::size_t>(dst)]));
+        outgoing[static_cast<std::size_t>(dst)].clear();
+      }
+      for (int i = 0; i < comm.size() - 1; ++i) {
+        mpsim::message_t msg;
+        if (!comm.recv(rank, tag, msg))
+          return;
+        for (std::uint64_t const word : msg.payload) {
+          V const v = unpack_vertex(word);
+          W const d = unpack_weight(word);
+          if (d < dist[static_cast<std::size_t>(v)]) {
+            dist[static_cast<std::size_t>(v)] = d;
+            next.push_back(v);
+          }
+        }
+      }
+      // Deduplicate the next active set (a vertex may improve many times in
+      // one superstep).
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      active = std::move(next);
+
+      std::uint64_t const global_active = comm.all_reduce_sum(
+          rank, static_cast<std::uint64_t>(active.size()));
+      ++superstep;
+      if (global_active == 0)
+        break;
+    }
+
+    // Gather owned distances at rank 0.
+    std::vector<std::uint64_t> mine;
+    for (std::size_t v = 0; v < n; ++v)
+      if (owner(static_cast<V>(v)) == rank &&
+          dist[v] != infinity_v<W>)
+        mine.push_back(pack(static_cast<V>(v), dist[v]));
+    if (rank == 0) {
+      for (std::uint64_t const word : mine)
+        result.distances[static_cast<std::size_t>(unpack_vertex(word))] =
+            unpack_weight(word);
+      for (int i = 0; i < comm.size() - 1; ++i) {
+        mpsim::message_t msg;
+        if (!comm.recv(0, kTagGather, msg))
+          return;
+        for (std::uint64_t const word : msg.payload)
+          result.distances[static_cast<std::size_t>(unpack_vertex(word))] =
+              unpack_weight(word);
+      }
+      iterations = static_cast<std::size_t>(superstep);
+    } else {
+      comm.send(rank, 0, kTagGather, std::move(mine));
+    }
+  });
+
+  result.iterations = iterations;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Serial baselines
+// ---------------------------------------------------------------------------
+
+/// Dijkstra with a binary heap — the exact serial oracle (CLRS).  O((V+E)
+/// log V), non-negative weights.
+template <typename G>
+sssp_result<typename G::weight_type> dijkstra(
+    G const& g, typename G::vertex_type source) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "dijkstra: source out of range");
+
+  sssp_result<W> result;
+  result.distances.assign(static_cast<std::size_t>(g.get_num_vertices()),
+                          infinity_v<W>);
+  result.distances[static_cast<std::size_t>(source)] = W{0};
+
+  using entry = std::pair<W, V>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<entry>> heap;
+  heap.emplace(W{0}, source);
+  while (!heap.empty()) {
+    auto const [d, v] = heap.top();
+    heap.pop();
+    if (d > result.distances[static_cast<std::size_t>(v)])
+      continue;  // stale entry
+    for (auto const e : g.get_edges(v)) {
+      V const n = g.get_dest_vertex(e);
+      W const new_d = d + g.get_edge_weight(e);
+      if (new_d < result.distances[static_cast<std::size_t>(n)]) {
+        result.distances[static_cast<std::size_t>(n)] = new_d;
+        heap.emplace(new_d, n);
+      }
+    }
+  }
+  return result;
+}
+
+/// Bellman–Ford — the textbook bulk relaxation.  Handles negative weights
+/// (but not negative cycles); used as a second, structurally different
+/// oracle in the property tests.
+template <typename G>
+sssp_result<typename G::weight_type> bellman_ford(
+    G const& g, typename G::vertex_type source) {
+  using V = typename G::vertex_type;
+  using W = typename G::weight_type;
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "bellman_ford: source out of range");
+
+  sssp_result<W> result;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  result.distances.assign(n, infinity_v<W>);
+  result.distances[static_cast<std::size_t>(source)] = W{0};
+
+  for (std::size_t round = 0; round + 1 < n || round == 0; ++round) {
+    bool changed = false;
+    for (V u = 0; u < g.get_num_vertices(); ++u) {
+      W const d_u = result.distances[static_cast<std::size_t>(u)];
+      if (d_u == infinity_v<W>)
+        continue;
+      for (auto const e : g.get_edges(u)) {
+        V const v = g.get_dest_vertex(e);
+        W const new_d = d_u + g.get_edge_weight(e);
+        if (new_d < result.distances[static_cast<std::size_t>(v)]) {
+          result.distances[static_cast<std::size_t>(v)] = new_d;
+          changed = true;
+        }
+      }
+    }
+    ++result.iterations;
+    if (!changed)
+      break;
+  }
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file algorithms/sssp_hybrid.hpp
+/// \brief Hierarchical (hybrid) SSSP: message passing *between* ranks,
+/// shared-memory parallelism *inside* each rank — the deployment the paper
+/// motivates in §III-B: "Expressing both models under the same framework
+/// can potentially allow for performance benefits in hierarchical
+/// distributed systems."
+///
+/// Structure per superstep, per rank:
+///   1. the rank's local active set is expanded with the *shared-memory
+///      parallel* advance (its own thread pool, lane-buffered appends);
+///   2. relaxations of remotely-owned vertices are shipped as
+///      (vertex, distance) messages;
+///   3. an all-reduce of the global active count closes the superstep.
+/// Steps 1 uses exactly the same operator and vertex program as the pure
+/// shared-memory SSSP — the composition, not new code, is the point.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/operators/filter.hpp"
+#include "algorithms/sssp.hpp"
+#include "mpsim/communicator.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace essentials::algorithms {
+
+/// Hybrid SSSP over `num_ranks` message-passing ranks, each running a
+/// `threads_per_rank`-wide shared-memory pool for its local expansion.
+/// `owner` must agree across ranks (default: v mod P).
+template <typename G>
+sssp_result<typename G::weight_type> sssp_hybrid(
+    G const& g, typename G::vertex_type source, int num_ranks = 2,
+    std::size_t threads_per_rank = 2,
+    std::function<int(typename G::vertex_type)> owner = {}) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using W = typename G::weight_type;
+  static_assert(sizeof(W) <= sizeof(std::uint32_t),
+                "weights packed into u64 message words");
+  expects(source >= 0 && source < g.get_num_vertices(),
+          "sssp_hybrid: source out of range");
+  if (!owner)
+    owner = [num_ranks](V v) { return static_cast<int>(v % num_ranks); };
+
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  sssp_result<W> result;
+  result.distances.assign(n, infinity_v<W>);
+  std::size_t iterations = 0;
+
+  auto const pack = [](V v, W d) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+           bits;
+  };
+  auto const unpack_vertex = [](std::uint64_t word) {
+    return static_cast<V>(word >> 32);
+  };
+  auto const unpack_weight = [](std::uint64_t word) {
+    W d;
+    auto const bits = static_cast<std::uint32_t>(word);
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  };
+  constexpr int kTagGather = 1 << 21;
+
+  mpsim::communicator::run(num_ranks, [&](mpsim::communicator& comm,
+                                          int rank) {
+    // Intra-rank shared-memory machinery: a private pool + policy.
+    parallel::thread_pool pool(threads_per_rank);
+    execution::parallel_policy par(pool);
+
+    std::vector<W> dist(n, infinity_v<W>);
+    W* const d = dist.data();
+    frontier::sparse_frontier<V> active;
+    if (owner(source) == rank) {
+      dist[static_cast<std::size_t>(source)] = W{0};
+      active.add_vertex(source);
+    }
+
+    std::vector<std::vector<std::uint64_t>> outgoing(
+        static_cast<std::size_t>(comm.size()));
+    int superstep = 0;
+    for (;;) {
+      // (1) Shared-memory parallel expansion of the local active set —
+      // the Listing 4 condition, unchanged.  Remote relaxations are
+      // recorded optimistically into dist as well (a cheap local cache)
+      // so repeated discoveries within this rank self-suppress.
+      auto const relaxed = operators::neighbors_expand(
+          par, g, active, [d](V const src, V const dst, E, W const w) {
+            W const new_d = d[src] + w;
+            return new_d < atomic::min(&d[dst], new_d);
+          });
+
+      // (2) Partition the relaxed set: locally-owned -> next active,
+      // remote -> messages to owners.
+      frontier::sparse_frontier<V> next;
+      for (V const v : relaxed.active()) {
+        int const dst_rank = owner(v);
+        if (dst_rank == rank)
+          next.add_vertex(v);
+        else
+          outgoing[static_cast<std::size_t>(dst_rank)].push_back(
+              pack(v, d[static_cast<std::size_t>(v)]));
+      }
+      int const tag = 2 * superstep;
+      for (int dst = 0; dst < comm.size(); ++dst) {
+        if (dst == rank)
+          continue;
+        comm.send(rank, dst, tag,
+                  std::move(outgoing[static_cast<std::size_t>(dst)]));
+        outgoing[static_cast<std::size_t>(dst)].clear();
+      }
+      for (int i = 0; i < comm.size() - 1; ++i) {
+        mpsim::message_t msg;
+        if (!comm.recv(rank, tag, msg))
+          return;
+        for (std::uint64_t const word : msg.payload) {
+          V const v = unpack_vertex(word);
+          W const nd = unpack_weight(word);
+          if (nd < dist[static_cast<std::size_t>(v)]) {
+            dist[static_cast<std::size_t>(v)] = nd;
+            next.add_vertex(v);
+          }
+        }
+      }
+      operators::uniquify(par, next, n);
+      active = std::move(next);
+
+      // (3) Global convergence: Listing 4's `while (f.size() != 0)` as an
+      // all-reduce.
+      auto const global = comm.all_reduce_sum(
+          rank, static_cast<std::uint64_t>(active.size()));
+      ++superstep;
+      if (global == 0)
+        break;
+    }
+
+    // Gather owned distances at rank 0.
+    std::vector<std::uint64_t> mine;
+    for (std::size_t v = 0; v < n; ++v)
+      if (owner(static_cast<V>(v)) == rank && dist[v] != infinity_v<W>)
+        mine.push_back(pack(static_cast<V>(v), dist[v]));
+    auto const gathered = comm.gather(rank, 0, kTagGather, std::move(mine));
+    if (rank == 0) {
+      for (std::uint64_t const word : gathered)
+        result.distances[static_cast<std::size_t>(unpack_vertex(word))] =
+            unpack_weight(word);
+      iterations = static_cast<std::size_t>(superstep);
+    }
+  });
+
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file algorithms/topological_sort.hpp
+/// \brief Topological ordering of a DAG (Kahn's algorithm) as a frontier
+/// program: the frontier holds the current zero-in-degree layer; the
+/// advance condition atomically decrements successors' in-degrees and
+/// activates those that hit zero.  Doubling as a cycle detector: fewer than
+/// V emitted vertices means a cycle.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+template <typename V = vertex_t>
+struct topo_result {
+  std::vector<V> order;   ///< a valid topological order (empty on cycle)
+  bool is_dag = false;
+  std::size_t levels = 0; ///< longest-path layering depth
+};
+
+/// Kahn layering.  `order` concatenates the BSP layers, so it is also a
+/// parallel schedule: everything in one layer can run concurrently.
+template <typename P, typename G>
+  requires execution::synchronous_policy<P> && (G::has_csc)
+topo_result<typename G::vertex_type> topological_sort(P policy, G const& g) {
+  using V = typename G::vertex_type;
+  using E = typename G::edge_type;
+  using W = typename G::weight_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  topo_result<V> result;
+  result.order.reserve(n);
+
+  std::vector<E> in_degree(n);
+  for (std::size_t v = 0; v < n; ++v)
+    in_degree[v] = g.get_in_degree(static_cast<V>(v));
+  E* const indeg = in_degree.data();
+
+  frontier::sparse_frontier<V> layer;
+  for (std::size_t v = 0; v < n; ++v)
+    if (in_degree[v] == 0)
+      layer.add_vertex(static_cast<V>(v));
+
+  while (!layer.empty()) {
+    for (V const v : layer.active())
+      result.order.push_back(v);
+    layer = operators::neighbors_expand(
+        policy, g, layer, [indeg](V, V dst, E, W) {
+          // Atomically consume one incoming edge; the consumer of the last
+          // edge owns the activation, so the next layer is duplicate-free.
+          return atomic::add(&indeg[dst], E{-1}) == E{1};
+        });
+    ++result.levels;
+  }
+
+  result.is_dag = result.order.size() == n;
+  if (!result.is_dag)
+    result.order.clear();
+  return result;
+}
+
+/// Check that `order` is a valid topological order of g (every edge goes
+/// forward in the order, every vertex appears exactly once).
+template <typename G, typename V>
+bool is_valid_topological_order(G const& g, std::vector<V> const& order) {
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  if (order.size() != n)
+    return false;
+  std::vector<V> position(n, invalid_vertex<V>);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto const v = static_cast<std::size_t>(order[i]);
+    if (v >= n || position[v] != invalid_vertex<V>)
+      return false;
+    position[v] = static_cast<V>(i);
+  }
+  for (V u = 0; u < g.get_num_vertices(); ++u)
+    for (auto const e : g.get_edges(u))
+      if (position[static_cast<std::size_t>(u)] >=
+          position[static_cast<std::size_t>(g.get_dest_vertex(e))])
+        return false;
+  return true;
+}
+
+}  // namespace essentials::algorithms

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file core/enactor.hpp
+/// \brief The iterative loop structure and convergence conditions — the
+/// paper's fourth essential component: "loop structure/convergence
+/// condition(s) to organize and schedule the computation and completion of
+/// a graph algorithm."
+///
+/// Two drivers, one per timing model:
+///  - `bsp_loop`: Listing 4's `while (f.size() != 0)` generalized — run a
+///    user step (advance/filter/compute composition) per superstep until a
+///    convergence condition fires.  The step itself decides which operators
+///    and policies to use, so the same loop hosts push, pull and
+///    direction-optimizing algorithms.
+///  - `async_loop`: no supersteps — a crew of consumers pops active
+///    vertices from an asynchronous queue frontier until quiescence (or an
+///    explicit condition closes the queue).
+///
+/// Convergence conditions are small composable function objects; `either`
+/// composes them ("empty frontier OR iteration cap"), mirroring how real
+/// systems bound runaway algorithms.
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/frontier/frontier.hpp"
+#include "core/types.hpp"
+
+namespace essentials::enactor {
+
+// ---------------------------------------------------------------------------
+// Convergence conditions
+// ---------------------------------------------------------------------------
+
+/// Converged when the frontier has no active elements — the default
+/// condition of every traversal algorithm (Listing 4).
+struct frontier_empty {
+  template <typename F>
+  bool operator()(F const& f, std::size_t /*iteration*/) const {
+    return f.empty();
+  }
+};
+
+/// Converged after a fixed number of supersteps — the condition of
+/// fixed-point algorithms sampled for a bounded time (or a safety net).
+struct max_iterations {
+  std::size_t limit;
+  template <typename F>
+  bool operator()(F const& /*f*/, std::size_t iteration) const {
+    return iteration >= limit;
+  }
+};
+
+/// Converged when a user-supplied measurement (e.g. L1 delta of ranks)
+/// drops below a threshold.  The measurement runs once per superstep.
+template <typename MeasureF>
+struct value_below {
+  MeasureF measure;
+  double threshold;
+  template <typename F>
+  bool operator()(F const& /*f*/, std::size_t /*iteration*/) const {
+    return measure() < threshold;
+  }
+};
+
+template <typename MeasureF>
+value_below(MeasureF, double) -> value_below<MeasureF>;
+
+/// Disjunction of two conditions.
+template <typename A, typename B>
+struct either {
+  A first;
+  B second;
+  template <typename F>
+  bool operator()(F const& f, std::size_t iteration) const {
+    return first(f, iteration) || second(f, iteration);
+  }
+};
+
+template <typename A, typename B>
+either(A, B) -> either<A, B>;
+
+// ---------------------------------------------------------------------------
+// BSP driver
+// ---------------------------------------------------------------------------
+
+/// Outcome telemetry of a loop run.
+struct enact_stats {
+  std::size_t iterations = 0;       ///< supersteps executed
+  std::size_t total_processed = 0;  ///< sum of input-frontier sizes
+};
+
+/// Bulk-synchronous iterative loop: starting from `frontier`, repeatedly
+/// invoke `step(frontier, iteration)` — which returns the next frontier —
+/// until `converged(frontier, iteration)` holds.  Convergence is tested
+/// *before* each superstep, so a converged initial frontier runs zero
+/// steps.
+template <typename FrontierT, typename StepF,
+          typename ConvergedF = frontier_empty>
+enact_stats bsp_loop(FrontierT frontier, StepF step,
+                     ConvergedF converged = {}) {
+  enact_stats stats;
+  while (!converged(frontier, stats.iterations)) {
+    stats.total_processed += frontier.size();
+    frontier = step(std::move(frontier), stats.iterations);
+    ++stats.iterations;
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous driver
+// ---------------------------------------------------------------------------
+
+/// Asynchronous loop: `num_workers` consumers pop active vertices from the
+/// queue frontier and run `body(v)` on each; `body` re-activates vertices
+/// by calling `f.add_vertex(...)`.  Returns when the frontier is quiescent
+/// (every activation processed, nothing in flight) — the asynchronous
+/// convergence condition.  Dedicated threads (not the pool) because
+/// consumers block on pops; blocking pool workers could starve unrelated
+/// operators sharing the pool.
+template <typename T, typename BodyF>
+std::size_t async_loop(frontier::async_queue_frontier<T>& f,
+                       std::size_t num_workers, BodyF body) {
+  expects(num_workers >= 1, "async_loop: need at least one worker");
+  std::vector<std::thread> crew;
+  crew.reserve(num_workers);
+  std::vector<std::size_t> processed(num_workers, 0);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    crew.emplace_back([&f, &body, &processed, w] {
+      T v{};
+      while (f.pop_vertex(v)) {
+        body(v);
+        f.finish_vertex();
+        ++processed[w];
+      }
+    });
+  }
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    crew[w].join();
+    total += processed[w];
+  }
+  return total;
+}
+
+}  // namespace essentials::enactor

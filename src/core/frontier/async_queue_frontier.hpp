@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file core/frontier/async_queue_frontier.hpp
+/// \brief Asynchronous-queue frontier: the active set as a concurrent work
+/// queue — paper §III-B: "When represented as an asynchronous queue, a
+/// frontier can communicate its elements using messages" (after Chen et
+/// al.'s Atos).
+///
+/// There are no supersteps: consumers pop active vertices the moment they
+/// exist, process them, and push newly activated vertices straight back.
+/// Convergence is quiescence — no queued items and no in-flight items —
+/// detected by the underlying mpmc_queue's pending-work counter, which is
+/// precisely the asynchronous convergence condition of the paper's loop
+/// structure.
+///
+/// The Listing 2 interface (`add_vertex`, `size`) still holds, so the same
+/// vertex program runs unchanged on top of this representation; only the
+/// driver loop differs (see core/enactor.hpp's async_enact).
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "parallel/mpmc_queue.hpp"
+
+namespace essentials::frontier {
+
+template <typename T = vertex_t>
+class async_queue_frontier {
+ public:
+  using value_type = T;
+  static constexpr frontier_kind kind = frontier_kind::vertex_frontier;
+
+  async_queue_frontier() = default;
+
+  /// "Add a vertex to the frontier" == send one unit of work / one message.
+  void add_vertex(T v) { queue_.push(v); }
+
+  /// Claim one active vertex; returns false when the algorithm is done
+  /// (queue empty AND no consumer still processing).  The claimed item must
+  /// be released with finish_vertex() after all its side effects — pushes of
+  /// neighbors included — are visible.
+  bool pop_vertex(T& out) { return queue_.pop(out); }
+
+  /// Mark a previously popped vertex fully processed.
+  void finish_vertex() { queue_.done_processing(); }
+
+  /// Queued (not yet claimed) items — a racy monitoring snapshot; an
+  /// asynchronous frontier has no stable size by design.
+  std::size_t size() const { return queue_.size(); }
+
+  bool empty() const { return queue_.empty(); }
+
+  /// Nothing queued and nothing in flight: converged.
+  bool is_quiescent() const { return queue_.is_quiescent(); }
+
+  /// Early-exit support for convergence conditions other than quiescence.
+  void close() { queue_.close(); }
+
+  parallel::mpmc_queue<T>& queue() noexcept { return queue_; }
+
+ private:
+  parallel::mpmc_queue<T> queue_;
+};
+
+}  // namespace essentials::frontier

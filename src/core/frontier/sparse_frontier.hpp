@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file core/frontier/sparse_frontier.hpp
+/// \brief Sparse frontier: the active set as a flat vector of ids —
+/// paper Listing 2, hardened for concurrent producers.
+///
+/// The shared-memory representation of choice when the active set is small
+/// relative to |V|: iteration cost is O(|F|), membership is not O(1).
+/// Concurrent `add` is supported two ways, both exercised by the operators:
+///  - `add(v)`: lock-guarded push_back — literally Listing 3's
+///    mutex-protected `output.add_vertex(n)`;
+///  - `append_bulk(...)`: one lock per lane-local buffer, the optimization
+///    operators use to keep the critical section short (CP.43).
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "parallel/spinlock.hpp"
+
+namespace essentials::frontier {
+
+template <typename T = vertex_t>
+class sparse_frontier {
+ public:
+  using value_type = T;
+  static constexpr frontier_kind kind = frontier_kind::vertex_frontier;
+
+  sparse_frontier() = default;
+
+  /// Build from an initial active set.
+  explicit sparse_frontier(std::vector<T> active)
+      : active_(std::move(active)) {}
+
+  // The spinlock guards concurrent add/append only; copying or moving a
+  // frontier while producers are appending is a caller bug, so copies and
+  // moves transfer the active vector and start with a fresh (unlocked) lock.
+  sparse_frontier(sparse_frontier const& other) : active_(other.active_) {}
+  sparse_frontier(sparse_frontier&& other) noexcept
+      : active_(std::move(other.active_)) {}
+  sparse_frontier& operator=(sparse_frontier const& other) {
+    active_ = other.active_;
+    return *this;
+  }
+  sparse_frontier& operator=(sparse_frontier&& other) noexcept {
+    active_ = std::move(other.active_);
+    return *this;
+  }
+
+  // --- Listing 2 API ---------------------------------------------------------
+
+  /// "Get the number of active vertices."
+  std::size_t size() const noexcept { return active_.size(); }
+
+  /// "Get the active vertex at a given index."
+  T get_active_vertex(std::size_t i) const {
+    expects(i < active_.size(), "sparse_frontier: index out of range");
+    return active_[i];
+  }
+
+  /// "Add a vertex to the frontier." — thread-safe (Listing 3 wraps this in
+  /// a lock; we keep the lock inside so call sites stay clean).
+  void add_vertex(T v) {
+    std::lock_guard<parallel::spinlock> guard(lock_);
+    active_.push_back(v);
+  }
+
+  // --- framework extensions --------------------------------------------------
+
+  bool empty() const noexcept { return active_.empty(); }
+
+  void clear() noexcept { active_.clear(); }
+
+  void reserve(std::size_t n) { active_.reserve(n); }
+
+  /// Append a whole lane-local buffer under one lock acquisition.
+  void append_bulk(T const* data, std::size_t n) {
+    if (n == 0)
+      return;
+    std::lock_guard<parallel::spinlock> guard(lock_);
+    active_.insert(active_.end(), data, data + n);
+  }
+
+  /// Serial iteration over active elements.
+  template <typename F>
+  void for_each_active(F&& fn) const {
+    for (T const& v : active_)
+      fn(v);
+  }
+
+  /// O(|F|) membership test (tests/debugging; hot paths use dense frontiers
+  /// when membership queries matter).
+  bool contains(T v) const {
+    for (T const& a : active_)
+      if (a == v)
+        return true;
+    return false;
+  }
+
+  /// Direct access for parallel chunked iteration by the operators.
+  std::vector<T> const& active() const noexcept { return active_; }
+  std::vector<T>& active() noexcept { return active_; }
+
+  /// Materialize the active set (already a vector; returns a copy).
+  std::vector<T> to_vector() const { return active_; }
+
+  friend void swap(sparse_frontier& a, sparse_frontier& b) noexcept {
+    std::swap(a.active_, b.active_);
+  }
+
+ private:
+  std::vector<T> active_;
+  parallel::spinlock lock_;
+};
+
+}  // namespace essentials::frontier

@@ -1,0 +1,338 @@
+#pragma once
+
+/// \file core/operators/advance.hpp
+/// \brief The advance (neighbor-expand) operator family — paper Listing 3
+/// generalized across traversal directions, frontier representations, and
+/// execution policies.
+///
+/// An advance maps an input frontier to an output frontier by visiting the
+/// edges incident to the input's elements and applying a user *condition*
+/// lambda on the tuple {source vertex, destination vertex, edge, weight}
+/// (paper §III-C).  An edge whose condition returns true contributes its
+/// far endpoint to the output frontier.
+///
+/// Overload matrix (all share one semantic, per the paper's requirement
+/// that "the operator's functionality [be] identical, even as its
+/// underlying execution changes"):
+///  - policy: `seq` (invoking thread) / `par` (pool + implicit barrier) /
+///    `par_nosync` (pool, no barrier — caller owns synchronization).
+///  - direction: `advance_push` walks out-edges via CSR;
+///    `advance_pull` walks in-edges via CSC, asking whether any *active*
+///    predecessor satisfies the condition.
+///  - representation: sparse -> sparse, sparse -> dense, dense -> dense.
+///
+/// The parallel push overloads buffer output per lane and publish each
+/// buffer under a single short lock (CP.43) rather than Listing 3's
+/// per-element mutex; `neighbors_expand_listing3` preserves the paper's
+/// exact per-element-lock formulation for the ablation bench.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/types.hpp"
+#include "parallel/for_each.hpp"
+
+namespace essentials::operators {
+
+/// Concept for the user condition: callable on (src, dst, edge, weight).
+template <typename F, typename G>
+concept advance_condition =
+    std::invocable<F, typename G::vertex_type, typename G::vertex_type,
+                   typename G::edge_type, typename G::weight_type>;
+
+// ---------------------------------------------------------------------------
+// Push advance: sparse -> sparse
+// ---------------------------------------------------------------------------
+
+/// Sequential push advance — the reference semantics.
+template <typename G, typename Cond>
+  requires advance_condition<Cond, G>
+frontier::sparse_frontier<typename G::vertex_type> advance_push(
+    execution::sequenced_policy, G const& g,
+    frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  frontier::sparse_frontier<V> out;
+  for (V const v : in.active()) {
+    for (auto const e : g.get_edges(v)) {
+      V const n = g.get_dest_vertex(e);
+      auto const w = g.get_edge_weight(e);
+      if (cond(v, n, e, w))
+        out.add_vertex(n);
+    }
+  }
+  return out;
+}
+
+/// Parallel synchronous push advance (one BSP superstep).  Lane-local
+/// output buffers are flushed with one bulk append per chunk.
+template <typename G, typename Cond>
+  requires advance_condition<Cond, G>
+frontier::sparse_frontier<typename G::vertex_type> advance_push(
+    execution::parallel_policy policy, G const& g,
+    frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  frontier::sparse_frontier<V> out;
+  auto const& active = in.active();
+  policy.pool().run_blocked(
+      active.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<V> local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          V const v = active[i];
+          for (auto const e : g.get_edges(v)) {
+            V const n = g.get_dest_vertex(e);
+            auto const w = g.get_edge_weight(e);
+            if (cond(v, n, e, w))
+              local.push_back(n);
+          }
+        }
+        out.append_bulk(local.data(), local.size());
+      },
+      policy.grain);
+  return out;
+}
+
+/// Parallel asynchronous push advance: chunks are launched and the call
+/// returns immediately; the caller synchronizes via
+/// `policy.pool().wait_idle()` (or not at all).  Output is appended to the
+/// caller-owned `out` frontier, whose thread-safe appends make concurrent
+/// chunks safe.
+template <typename G, typename Cond>
+  requires advance_condition<Cond, G>
+void advance_push(execution::parallel_nosync_policy policy, G const& g,
+                  frontier::sparse_frontier<typename G::vertex_type> const& in,
+                  Cond cond,
+                  frontier::sparse_frontier<typename G::vertex_type>& out) {
+  using V = typename G::vertex_type;
+  auto const& active = in.active();
+  parallel::parallel_for_nowait(
+      policy.pool(), std::size_t{0}, active.size(),
+      [&g, &active, &out, cond](std::size_t i) {
+        V const v = active[i];
+        std::vector<V> local;
+        for (auto const e : g.get_edges(v)) {
+          V const n = g.get_dest_vertex(e);
+          auto const w = g.get_edge_weight(e);
+          if (cond(v, n, e, w))
+            local.push_back(n);
+        }
+        out.append_bulk(local.data(), local.size());
+      },
+      policy.grain);
+}
+
+/// Paper Listing 3, verbatim semantics: parallel push advance whose output
+/// appends take a mutex *per discovered neighbor*.  Kept as the baseline
+/// for the operator-ablation bench (bench_operators) that quantifies what
+/// lane-local buffering buys.
+template <typename G, typename Cond>
+  requires advance_condition<Cond, G>
+frontier::sparse_frontier<typename G::vertex_type> neighbors_expand_listing3(
+    execution::parallel_policy policy, G const& g,
+    frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  std::mutex m;
+  frontier::sparse_frontier<V> out;
+  auto const& active = in.active();
+  parallel::parallel_for(
+      policy.pool(), std::size_t{0}, active.size(),
+      [&](std::size_t i) {
+        V const v = active[i];
+        for (auto const e : g.get_edges(v)) {
+          V const n = g.get_dest_vertex(e);
+          auto const w = g.get_edge_weight(e);
+          if (cond(v, n, e, w)) {
+            std::lock_guard<std::mutex> guard(m);
+            out.active().push_back(n);
+          }
+        }
+      },
+      policy.grain);
+  return out;
+}
+
+/// The paper's name for push advance.  `neighbors_expand(policy, g, f,
+/// cond)` reads exactly like Listing 3/4.
+template <typename P, typename G, typename Cond>
+auto neighbors_expand(P&& policy, G const& g,
+                      frontier::sparse_frontier<typename G::vertex_type> const& in,
+                      Cond cond) {
+  return advance_push(std::forward<P>(policy), g, in, cond);
+}
+
+// ---------------------------------------------------------------------------
+// Push advance: sparse -> dense and dense -> dense
+// ---------------------------------------------------------------------------
+
+/// Push advance producing a dense (bitmap) output frontier: discovered
+/// neighbors are recorded with atomic bit-sets, which deduplicates the
+/// output for free.  Works for both seq and par policies.
+template <typename P, typename G, typename Cond>
+  requires execution::synchronous_policy<P> && advance_condition<Cond, G>
+frontier::dense_frontier<typename G::vertex_type> advance_push_to_dense(
+    P policy, G const& g,
+    frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  frontier::dense_frontier<V> out(
+      static_cast<std::size_t>(g.get_num_vertices()));
+  auto const& active = in.active();
+  auto const body = [&](std::size_t i) {
+    V const v = active[i];
+    for (auto const e : g.get_edges(v)) {
+      V const n = g.get_dest_vertex(e);
+      auto const w = g.get_edge_weight(e);
+      if (cond(v, n, e, w))
+        out.add_vertex(n);
+    }
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    parallel::parallel_for(policy.pool(), std::size_t{0}, active.size(), body,
+                           policy.grain);
+  } else {
+    for (std::size_t i = 0; i < active.size(); ++i)
+      body(i);
+  }
+  return out;
+}
+
+/// Dense -> dense push advance: iterate set bits of the input bitmap.
+template <typename P, typename G, typename Cond>
+  requires execution::synchronous_policy<P> && advance_condition<Cond, G>
+frontier::dense_frontier<typename G::vertex_type> advance_push(
+    P policy, G const& g,
+    frontier::dense_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  frontier::dense_frontier<V> out(in.universe());
+  auto const& bits = in.bits();
+  auto const word_body = [&](std::size_t wi) {
+    std::uint64_t word = bits.load_word(wi);
+    while (word != 0) {
+      unsigned const b = static_cast<unsigned>(__builtin_ctzll(word));
+      word &= word - 1;
+      V const v = static_cast<V>(wi * 64 + b);
+      for (auto const e : g.get_edges(v)) {
+        V const n = g.get_dest_vertex(e);
+        auto const w = g.get_edge_weight(e);
+        if (cond(v, n, e, w))
+          out.add_vertex(n);
+      }
+    }
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    parallel::parallel_for(policy.pool(), std::size_t{0}, bits.num_words(),
+                           word_body, std::max<std::size_t>(policy.grain / 64, 1));
+  } else {
+    for (std::size_t wi = 0; wi < bits.num_words(); ++wi)
+      word_body(wi);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pull advance (CSC)
+// ---------------------------------------------------------------------------
+
+/// Pull advance: every vertex of the graph scans its *in*-edges and asks
+/// whether an active predecessor satisfies the condition; if so the vertex
+/// joins the output frontier.  The input must support O(1) membership
+/// (dense frontier).  `early_exit` stops scanning a vertex's in-edges at
+/// the first hit — correct for BFS-like "any parent" programs; keep false
+/// for programs that must see every incident active edge (e.g. pull SSSP
+/// relaxations).
+template <bool early_exit = false, typename P, typename G, typename Cond>
+  requires execution::synchronous_policy<P> && advance_condition<Cond, G> &&
+           (G::has_csc)
+frontier::dense_frontier<typename G::vertex_type> advance_pull(
+    P policy, G const& g,
+    frontier::dense_frontier<typename G::vertex_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  frontier::dense_frontier<V> out(n);
+  auto const body = [&](std::size_t vi) {
+    V const v = static_cast<V>(vi);
+    for (auto const e : g.get_in_edges(v)) {
+      V const u = g.get_in_source_vertex(e);
+      if (!in.contains(u))
+        continue;
+      auto const w = g.get_in_edge_weight(e);
+      if (cond(u, v, e, w)) {
+        out.add_vertex(v);
+        if constexpr (early_exit)
+          break;
+      }
+    }
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    parallel::parallel_for(policy.pool(), std::size_t{0}, n, body,
+                           policy.grain);
+  } else {
+    for (std::size_t vi = 0; vi < n; ++vi)
+      body(vi);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Edge-centric advance
+// ---------------------------------------------------------------------------
+
+/// Expand a vertex frontier into the frontier of its incident out-edge ids
+/// (vertex-centric -> edge-centric handoff, paper §III-C's edge frontier).
+template <typename P, typename G>
+  requires execution::synchronous_policy<P>
+frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
+    P policy, G const& g,
+    frontier::sparse_frontier<typename G::vertex_type> const& in) {
+  using E = typename G::edge_type;
+  frontier::sparse_frontier<E> out;
+  auto const& active = in.active();
+  auto const body = [&](std::size_t lo, std::size_t hi) {
+    std::vector<E> local;
+    for (std::size_t i = lo; i < hi; ++i)
+      for (auto const e : g.get_edges(active[i]))
+        local.push_back(e);
+    out.append_bulk(local.data(), local.size());
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    policy.pool().run_blocked(active.size(), body, policy.grain);
+  } else {
+    body(0, active.size());
+  }
+  return out;
+}
+
+/// Edge-centric advance: the input frontier holds CSR edge ids; the
+/// condition sees the usual {src, dst, edge, weight} tuple and a true
+/// return contributes the edge's destination vertex to the output.
+template <typename P, typename G, typename Cond>
+  requires execution::synchronous_policy<P> && advance_condition<Cond, G>
+frontier::sparse_frontier<typename G::vertex_type> advance_edges(
+    P policy, G const& g,
+    frontier::sparse_frontier<typename G::edge_type> const& in, Cond cond) {
+  using V = typename G::vertex_type;
+  frontier::sparse_frontier<V> out;
+  auto const& active = in.active();
+  auto const body = [&](std::size_t lo, std::size_t hi) {
+    std::vector<V> local;
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto const e = active[i];
+      V const src = g.get_source_vertex(e);
+      V const dst = g.get_dest_vertex(e);
+      auto const w = g.get_edge_weight(e);
+      if (cond(src, dst, e, w))
+        local.push_back(dst);
+    }
+    out.append_bulk(local.data(), local.size());
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    policy.pool().run_blocked(active.size(), body, policy.grain);
+  } else {
+    body(0, active.size());
+  }
+  return out;
+}
+
+}  // namespace essentials::operators

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file core/operators/compute.hpp
+/// \brief The compute operator: apply a vertex program (a lambda over a
+/// vertex id) to every element of a frontier, or to every vertex of the
+/// graph — the paper's "transformations" half of the operator taxonomy.
+///
+/// Unlike advance, compute has no structural output; it exists to mutate
+/// per-vertex algorithm state (distances, ranks, labels) in shared memory.
+/// Overloads per policy keep the BSP/async distinction: `par` barriers,
+/// `par_nosync` launches and returns.
+
+#include <cstddef>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "parallel/for_each.hpp"
+
+namespace essentials::operators {
+
+/// Apply `fn(v)` to every active element of a sparse frontier.
+template <typename P, typename T, typename F>
+  requires execution::execution_policy<P>
+void compute(P policy, frontier::sparse_frontier<T> const& f, F fn) {
+  auto const& active = f.active();
+  if constexpr (std::is_same_v<std::decay_t<P>, execution::sequenced_policy>) {
+    for (T const& v : active)
+      fn(v);
+  } else if constexpr (std::decay_t<P>::is_synchronous) {
+    parallel::parallel_for(
+        policy.pool(), std::size_t{0}, active.size(),
+        [&active, fn](std::size_t i) { fn(active[i]); }, policy.grain);
+  } else {
+    parallel::parallel_for_nowait(
+        policy.pool(), std::size_t{0}, active.size(),
+        [&active, fn](std::size_t i) { fn(active[i]); }, policy.grain);
+  }
+}
+
+/// Apply `fn(v)` to every active element of a dense frontier.
+template <typename P, typename T, typename F>
+  requires execution::synchronous_policy<P>
+void compute(P policy, frontier::dense_frontier<T> const& f, F fn) {
+  if constexpr (std::decay_t<P>::is_parallel) {
+    auto const& bits = f.bits();
+    parallel::parallel_for(
+        policy.pool(), std::size_t{0}, bits.num_words(),
+        [&bits, fn](std::size_t wi) {
+          std::uint64_t word = bits.load_word(wi);
+          while (word != 0) {
+            unsigned const b = static_cast<unsigned>(__builtin_ctzll(word));
+            word &= word - 1;
+            fn(static_cast<T>(wi * 64 + b));
+          }
+        },
+        /*grain=*/16);
+  } else {
+    f.for_each_active(fn);
+  }
+}
+
+/// Apply `fn(v)` to every vertex of the graph (the whole-graph vertex
+/// program, e.g. one PageRank sweep).
+template <typename P, typename G, typename F>
+  requires execution::execution_policy<P>
+void compute_vertices(P policy, G const& g, F fn) {
+  std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  if constexpr (std::is_same_v<std::decay_t<P>, execution::sequenced_policy>) {
+    for (std::size_t v = 0; v < n; ++v)
+      fn(static_cast<typename G::vertex_type>(v));
+  } else if constexpr (std::decay_t<P>::is_synchronous) {
+    parallel::parallel_for(
+        policy.pool(), std::size_t{0}, n,
+        [fn](std::size_t v) { fn(static_cast<typename G::vertex_type>(v)); },
+        policy.grain);
+  } else {
+    parallel::parallel_for_nowait(
+        policy.pool(), std::size_t{0}, n,
+        [fn](std::size_t v) { fn(static_cast<typename G::vertex_type>(v)); },
+        policy.grain);
+  }
+}
+
+}  // namespace essentials::operators

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file core/operators/filter.hpp
+/// \brief Frontier contraction operators: `filter` keeps the elements that
+/// satisfy a predicate, `uniquify` removes duplicates.
+///
+/// Advance expands, filter contracts — together they are the paper's
+/// "traversals or transformations on the frontiers".  A push advance over a
+/// graph with shared neighbors emits duplicates; BFS/SSSP pipelines
+/// typically run `advance → uniquify` or fold the dedupe into the condition
+/// via a claim bitmap.  All overloads are policy-disambiguated like advance.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "parallel/atomic_bitset.hpp"
+#include "parallel/for_each.hpp"
+
+namespace essentials::operators {
+
+/// Sequential filter: reference semantics, preserves input order.
+template <typename T, typename Pred>
+frontier::sparse_frontier<T> filter(execution::sequenced_policy,
+                                    frontier::sparse_frontier<T> const& in,
+                                    Pred pred) {
+  frontier::sparse_frontier<T> out;
+  for (T const& v : in.active())
+    if (pred(v))
+      out.active().push_back(v);
+  return out;
+}
+
+/// Parallel synchronous filter; output order is deterministic per chunk but
+/// chunk publication order is not (frontier order is semantically a set).
+template <typename T, typename Pred>
+frontier::sparse_frontier<T> filter(execution::parallel_policy policy,
+                                    frontier::sparse_frontier<T> const& in,
+                                    Pred pred) {
+  frontier::sparse_frontier<T> out;
+  auto const& active = in.active();
+  policy.pool().run_blocked(
+      active.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<T> local;
+        for (std::size_t i = lo; i < hi; ++i)
+          if (pred(active[i]))
+            local.push_back(active[i]);
+        out.append_bulk(local.data(), local.size());
+      },
+      policy.grain);
+  return out;
+}
+
+/// Dense filter: clears bits whose ids fail the predicate.  In-place by
+/// value semantics (returns the filtered copy) to mirror the sparse shape.
+template <typename P, typename T, typename Pred>
+  requires execution::synchronous_policy<P>
+frontier::dense_frontier<T> filter(P policy,
+                                   frontier::dense_frontier<T> const& in,
+                                   Pred pred) {
+  frontier::dense_frontier<T> out(in.universe());
+  auto const copy_if = [&](T v) {
+    if (pred(v))
+      out.add_vertex(v);
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    auto const& bits = in.bits();
+    parallel::parallel_for(
+        policy.pool(), std::size_t{0}, bits.num_words(),
+        [&](std::size_t wi) {
+          std::uint64_t word = bits.load_word(wi);
+          while (word != 0) {
+            unsigned const b = static_cast<unsigned>(__builtin_ctzll(word));
+            word &= word - 1;
+            copy_if(static_cast<T>(wi * 64 + b));
+          }
+        },
+        /*grain=*/16);
+  } else {
+    in.for_each_active(copy_if);
+  }
+  return out;
+}
+
+/// Remove duplicate ids from a sparse frontier (sort + unique).  Determinism
+/// bonus: output is sorted regardless of the racy order parallel advance
+/// appended in, which makes BSP runs reproducible.
+template <typename T>
+void uniquify(execution::sequenced_policy, frontier::sparse_frontier<T>& f) {
+  auto& v = f.active();
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Parallel uniquify via a claim bitmap over the id universe: O(|F|) work,
+/// no sort.  Output order follows the input scan order per chunk.
+template <typename T>
+void uniquify(execution::parallel_policy policy,
+              frontier::sparse_frontier<T>& f, std::size_t universe) {
+  parallel::atomic_bitset seen(universe);
+  frontier::sparse_frontier<T> out;
+  auto const& active = f.active();
+  policy.pool().run_blocked(
+      active.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<T> local;
+        for (std::size_t i = lo; i < hi; ++i)
+          if (seen.test_and_set(static_cast<std::size_t>(active[i])))
+            local.push_back(active[i]);
+        out.append_bulk(local.data(), local.size());
+      },
+      policy.grain);
+  swap(f, out);
+}
+
+}  // namespace essentials::operators

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file core/operators/neighbor_reduce.hpp
+/// \brief Neighborhood reduction operator: for each vertex of a frontier
+/// (or of the whole graph), fold a value over its incident edges — the
+/// gather half of gather-apply-scatter, as a first-class operator.
+///
+/// `neighbor_reduce` folds over *out*-edges (CSR); `in_neighbor_reduce`
+/// folds over *in*-edges (CSC) — the pull-side gather PageRank/HITS-style
+/// fixed points are built from.  The map lambda sees the full
+/// {src, dst, edge, weight} tuple (paper §III-C); results land in a
+/// caller-provided output array indexed by vertex, so no atomics are
+/// needed: each vertex's fold is owned by one lane.
+
+#include <cstddef>
+
+#include "core/execution.hpp"
+#include "core/frontier/frontier.hpp"
+#include "core/operators/compute.hpp"
+#include "core/types.hpp"
+
+namespace essentials::operators {
+
+/// out[v] = fold of map(v, dst, e, w) over v's out-edges, for every vertex
+/// v in the graph.
+template <typename P, typename G, typename R, typename MapF,
+          typename CombineF>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+void neighbor_reduce(P policy, G const& g, R identity, MapF map,
+                     CombineF combine, R* out) {
+  using V = typename G::vertex_type;
+  compute_vertices(policy, g, [&g, identity, map, combine, out](V v) {
+    R acc = identity;
+    for (auto const e : g.get_edges(v))
+      acc = combine(acc, map(v, g.get_dest_vertex(e), e, g.get_edge_weight(e)));
+    out[static_cast<std::size_t>(v)] = acc;
+  });
+}
+
+/// out[v] = fold of map(src, v, e, w) over v's in-edges (pull gather).
+template <typename P, typename G, typename R, typename MapF,
+          typename CombineF>
+  requires execution::synchronous_policy<P> && (G::has_csc)
+void in_neighbor_reduce(P policy, G const& g, R identity, MapF map,
+                        CombineF combine, R* out) {
+  using V = typename G::vertex_type;
+  compute_vertices(policy, g, [&g, identity, map, combine, out](V v) {
+    R acc = identity;
+    for (auto const e : g.get_in_edges(v))
+      acc = combine(acc, map(g.get_in_source_vertex(e), v, e,
+                             g.get_in_edge_weight(e)));
+    out[static_cast<std::size_t>(v)] = acc;
+  });
+}
+
+/// Frontier-restricted variant: only active vertices fold; inactive
+/// entries of `out` are untouched.
+template <typename P, typename G, typename T, typename R, typename MapF,
+          typename CombineF>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+void neighbor_reduce(P policy, G const& g,
+                     frontier::sparse_frontier<T> const& f, R identity,
+                     MapF map, CombineF combine, R* out) {
+  using V = typename G::vertex_type;
+  compute(policy, f, [&g, identity, map, combine, out](V v) {
+    R acc = identity;
+    for (auto const e : g.get_edges(v))
+      acc = combine(acc, map(v, g.get_dest_vertex(e), e, g.get_edge_weight(e)));
+    out[static_cast<std::size_t>(v)] = acc;
+  });
+}
+
+}  // namespace essentials::operators

@@ -1,0 +1,214 @@
+#pragma once
+
+/// \file generators/generators.hpp
+/// \brief Synthetic graph generators standing in for real-world datasets.
+///
+/// Substitution (DESIGN.md §2): the paper's companion artifact runs on
+/// downloaded SuiteSparse/SNAP graphs; offline, we generate the three
+/// degree-distribution regimes that drive every design-choice crossover the
+/// paper argues about:
+///  - **R-MAT** (power-law, skewed): social/web graphs; stresses load
+///    balance, favors pull at high frontier density and async timing.
+///  - **Erdős–Rényi / Watts–Strogatz** (uniform-ish): favor BSP.
+///  - **2-D grid / chain** (mesh, high diameter): road networks; many tiny
+///    frontiers, stresses per-iteration overheads — where async queues and
+///    sparse frontiers shine.
+/// All generators are deterministic functions of their seed.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "generators/random.hpp"
+#include "graph/build.hpp"
+#include "graph/formats.hpp"
+
+namespace essentials::generators {
+
+/// How edge weights are assigned.
+struct weight_options {
+  float min_weight = 1.0f;
+  float max_weight = 1.0f;  ///< min == max -> constant weights
+};
+
+inline float draw_weight(rng_t& rng, weight_options const& w) {
+  if (w.min_weight >= w.max_weight)
+    return w.min_weight;
+  return rng.next_float(w.min_weight, w.max_weight);
+}
+
+/// R-MAT (recursive matrix) generator, Chakrabarti et al. parameters.
+/// Produces `num_edges` directed edges over 2^scale vertices; duplicates
+/// and self-loops are possible and left to the builder's cleanup passes,
+/// as in the reference implementations (Graph500).
+struct rmat_options {
+  int scale = 10;                ///< vertices = 2^scale
+  std::size_t edge_factor = 16;  ///< edges = edge_factor * vertices
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+  weight_options weights{1.0f, 1.0f};
+  std::uint64_t seed = 1;
+};
+
+inline graph::coo_t<> rmat(rmat_options const& opt) {
+  expects(opt.scale >= 1 && opt.scale < 31, "rmat: scale out of range");
+  vertex_t const n = vertex_t{1} << opt.scale;
+  std::size_t const m = opt.edge_factor * static_cast<std::size_t>(n);
+  double const d = 1.0 - opt.a - opt.b - opt.c;
+  expects(opt.a > 0 && opt.b >= 0 && opt.c >= 0 && d >= 0,
+          "rmat: invalid quadrant probabilities");
+
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(m);
+  rng_t rng(opt.seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    vertex_t row = 0, col = 0;
+    for (int bit = opt.scale - 1; bit >= 0; --bit) {
+      double const r = rng.next_double();
+      if (r < opt.a) {
+        // top-left: nothing set
+      } else if (r < opt.a + opt.b) {
+        col |= vertex_t{1} << bit;
+      } else if (r < opt.a + opt.b + opt.c) {
+        row |= vertex_t{1} << bit;
+      } else {
+        row |= vertex_t{1} << bit;
+        col |= vertex_t{1} << bit;
+      }
+    }
+    coo.push_back(row, col, draw_weight(rng, opt.weights));
+  }
+  return coo;
+}
+
+/// Erdős–Rényi G(n, m): exactly m directed edges drawn uniformly (with
+/// replacement; dedupe in the builder).
+inline graph::coo_t<> erdos_renyi(vertex_t n, std::size_t m,
+                                  weight_options weights = {},
+                                  std::uint64_t seed = 1) {
+  expects(n > 0, "erdos_renyi: need at least one vertex");
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(m);
+  rng_t rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto const u = static_cast<vertex_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto const v = static_cast<vertex_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    coo.push_back(u, v, draw_weight(rng, weights));
+  }
+  return coo;
+}
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.  Emitted directed both ways
+/// (symmetric).
+inline graph::coo_t<> watts_strogatz(vertex_t n, int k, double beta,
+                                     weight_options weights = {},
+                                     std::uint64_t seed = 1) {
+  expects(n > 2 && k >= 1 && 2 * k < n, "watts_strogatz: invalid (n, k)");
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(2 * static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  rng_t rng(seed);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      vertex_t v = static_cast<vertex_t>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // rewire: pick a random target distinct from u
+        do {
+          v = static_cast<vertex_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+        } while (v == u);
+      }
+      float const w = draw_weight(rng, weights);
+      coo.push_back(u, v, w);
+      coo.push_back(v, u, w);
+    }
+  }
+  return coo;
+}
+
+/// 2-D grid with 4-neighborhood, rows*cols vertices, symmetric edges —
+/// the road-network stand-in (high diameter, tiny uniform degree).
+inline graph::coo_t<> grid_2d(vertex_t rows, vertex_t cols,
+                              weight_options weights = {},
+                              std::uint64_t seed = 1) {
+  expects(rows > 0 && cols > 0, "grid_2d: empty grid");
+  vertex_t const n = rows * cols;
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(4 * static_cast<std::size_t>(n));
+  rng_t rng(seed);
+  auto const id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        float const w = draw_weight(rng, weights);
+        coo.push_back(id(r, c), id(r, c + 1), w);
+        coo.push_back(id(r, c + 1), id(r, c), w);
+      }
+      if (r + 1 < rows) {
+        float const w = draw_weight(rng, weights);
+        coo.push_back(id(r, c), id(r + 1, c), w);
+        coo.push_back(id(r + 1, c), id(r, c), w);
+      }
+    }
+  }
+  return coo;
+}
+
+/// Directed chain 0 -> 1 -> ... -> n-1: the worst case for BSP (one active
+/// vertex per superstep) and the best case for asynchronous pipelining.
+inline graph::coo_t<> chain(vertex_t n, weight_options weights = {},
+                            std::uint64_t seed = 1) {
+  expects(n > 0, "chain: empty");
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(static_cast<std::size_t>(n) - 1);
+  rng_t rng(seed);
+  for (vertex_t u = 0; u + 1 < n; ++u)
+    coo.push_back(u, u + 1, draw_weight(rng, weights));
+  return coo;
+}
+
+/// Star: hub 0 connected both ways to every spoke — the extreme skew case
+/// for load balancing.
+inline graph::coo_t<> star(vertex_t n, weight_options weights = {},
+                           std::uint64_t seed = 1) {
+  expects(n >= 2, "star: need a hub and one spoke");
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(2 * (static_cast<std::size_t>(n) - 1));
+  rng_t rng(seed);
+  for (vertex_t v = 1; v < n; ++v) {
+    float const w = draw_weight(rng, weights);
+    coo.push_back(0, v, w);
+    coo.push_back(v, 0, w);
+  }
+  return coo;
+}
+
+/// Complete directed graph on n vertices (no self loops): the dense-frontier
+/// extreme where pull traversal and bitmap frontiers win.
+inline graph::coo_t<> complete(vertex_t n, weight_options weights = {},
+                               std::uint64_t seed = 1) {
+  expects(n >= 1 && n <= 4096, "complete: n too large (O(n^2) edges)");
+  graph::coo_t<> coo;
+  coo.num_rows = n;
+  coo.num_cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1));
+  rng_t rng(seed);
+  for (vertex_t u = 0; u < n; ++u)
+    for (vertex_t v = 0; v < n; ++v)
+      if (u != v)
+        coo.push_back(u, v, draw_weight(rng, weights));
+  return coo;
+}
+
+}  // namespace essentials::generators

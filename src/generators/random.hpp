@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file generators/random.hpp
+/// \brief Small, fast, deterministic PRNG used by every generator and by
+/// the property-based tests.
+///
+/// We deliberately avoid std::mt19937 + distributions: their outputs are
+/// not guaranteed identical across standard libraries, and reproducibility
+/// of generated workloads across machines matters more here than
+/// statistical perfection.  splitmix64 seeds a xoshiro-style core; bounded
+/// ints use Lemire's multiply-shift rejection-free mapping (tiny bias,
+/// irrelevant for workload generation).
+
+#include <cstdint>
+
+namespace essentials::generators {
+
+/// splitmix64 — used to expand one user seed into stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xorshift128+ style generator; one instance per thread/stream.
+class rng_t {
+ public:
+  explicit rng_t(std::uint64_t seed = 0x853C49E6748FEA9Bull) {
+    std::uint64_t sm = seed;
+    s0_ = splitmix64(sm);
+    s1_ = splitmix64(sm);
+    if ((s0_ | s1_) == 0)
+      s1_ = 1;  // the all-zero state is a fixed point
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = s0_;
+    std::uint64_t const y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound).  bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0)
+      return 0;
+    // Lemire multiply-shift: maps 64-bit output to [0, bound).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  std::uint64_t s0_, s1_;
+};
+
+}  // namespace essentials::generators

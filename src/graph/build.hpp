@@ -1,0 +1,217 @@
+#pragma once
+
+/// \file graph/build.hpp
+/// \brief Builders and transformations between graph representations.
+///
+/// Everything funnels through COO: loaders/generators emit COO, the cleanup
+/// passes (dedupe, self-loop removal, symmetrization) operate on COO, and
+/// the conversion to CSR is a counting sort.  CSC is built by transposing
+/// COO and running the same conversion — which is also exactly how the pull
+/// structure relates to the push structure conceptually.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/formats.hpp"
+
+namespace essentials::graph {
+
+/// Policy for edges that appear multiple times in the input.
+enum class duplicate_policy {
+  keep_first,  ///< keep the first occurrence's weight
+  keep_min,    ///< keep the smallest weight (natural for shortest paths)
+  sum          ///< sum the weights (natural for linear algebra)
+};
+
+/// Sort edges by (row, column) and collapse duplicates according to
+/// `policy`.  Stable with respect to first occurrence for keep_first.
+template <typename V, typename E, typename W>
+void sort_and_deduplicate(coo_t<V, E, W>& coo,
+                          duplicate_policy policy = duplicate_policy::keep_first) {
+  std::size_t const m = coo.row_indices.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (coo.row_indices[a] != coo.row_indices[b])
+      return coo.row_indices[a] < coo.row_indices[b];
+    return coo.column_indices[a] < coo.column_indices[b];
+  });
+
+  coo_t<V, E, W> out;
+  out.num_rows = coo.num_rows;
+  out.num_cols = coo.num_cols;
+  out.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t const i = order[k];
+    V const r = coo.row_indices[i];
+    V const c = coo.column_indices[i];
+    W const w = coo.values[i];
+    if (!out.row_indices.empty() && out.row_indices.back() == r &&
+        out.column_indices.back() == c) {
+      switch (policy) {
+        case duplicate_policy::keep_first:
+          break;
+        case duplicate_policy::keep_min:
+          out.values.back() = std::min(out.values.back(), w);
+          break;
+        case duplicate_policy::sum:
+          out.values.back() += w;
+          break;
+      }
+    } else {
+      out.push_back(r, c, w);
+    }
+  }
+  coo = std::move(out);
+}
+
+/// Drop edges whose endpoints coincide.
+template <typename V, typename E, typename W>
+void remove_self_loops(coo_t<V, E, W>& coo) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i) {
+    if (coo.row_indices[i] == coo.column_indices[i])
+      continue;
+    coo.row_indices[kept] = coo.row_indices[i];
+    coo.column_indices[kept] = coo.column_indices[i];
+    coo.values[kept] = coo.values[i];
+    ++kept;
+  }
+  coo.row_indices.resize(kept);
+  coo.column_indices.resize(kept);
+  coo.values.resize(kept);
+}
+
+/// Add the reverse of every edge (making the edge set symmetric).  Combine
+/// with sort_and_deduplicate to obtain a canonical undirected graph.
+template <typename V, typename E, typename W>
+void symmetrize(coo_t<V, E, W>& coo) {
+  std::size_t const m = coo.row_indices.size();
+  coo.reserve(2 * m);
+  for (std::size_t i = 0; i < m; ++i)
+    coo.push_back(coo.column_indices[i], coo.row_indices[i], coo.values[i]);
+}
+
+/// Swap the roles of rows and columns (reverse every edge) in place.
+template <typename V, typename E, typename W>
+void transpose(coo_t<V, E, W>& coo) {
+  std::swap(coo.num_rows, coo.num_cols);
+  std::swap(coo.row_indices, coo.column_indices);
+}
+
+/// Counting-sort conversion COO -> CSR.  Input order is preserved within a
+/// row (stable), so edge ids in the CSR follow the COO's column order when
+/// the COO is sorted.
+template <typename V, typename E, typename W>
+csr_t<V, E, W> build_csr(coo_t<V, E, W> const& coo) {
+  expects(coo.num_rows >= 0 && coo.num_cols >= 0,
+          "build_csr: negative dimensions");
+  csr_t<V, E, W> csr;
+  csr.num_rows = coo.num_rows;
+  csr.num_cols = coo.num_cols;
+  std::size_t const n = static_cast<std::size_t>(coo.num_rows);
+  std::size_t const m = coo.row_indices.size();
+  csr.row_offsets.assign(n + 1, E{0});
+  csr.column_indices.resize(m);
+  csr.values.resize(m);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    V const r = coo.row_indices[i];
+    expects(r >= 0 && static_cast<std::size_t>(r) < n,
+            "build_csr: row index out of range");
+    V const c = coo.column_indices[i];
+    expects(c >= 0 && c < coo.num_cols, "build_csr: column index out of range");
+    ++csr.row_offsets[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    csr.row_offsets[v + 1] += csr.row_offsets[v];
+
+  std::vector<E> cursor(csr.row_offsets.begin(), csr.row_offsets.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t const r = static_cast<std::size_t>(coo.row_indices[i]);
+    E const slot = cursor[r]++;
+    csr.column_indices[static_cast<std::size_t>(slot)] = coo.column_indices[i];
+    csr.values[static_cast<std::size_t>(slot)] = coo.values[i];
+  }
+  return csr;
+}
+
+/// COO -> CSC: transpose then counting-sort by (new) row, i.e. by original
+/// column.
+template <typename V, typename E, typename W>
+csc_t<V, E, W> build_csc(coo_t<V, E, W> const& coo) {
+  coo_t<V, E, W> t = coo;
+  transpose(t);
+  csr_t<V, E, W> csr = build_csr(t);
+  csc_t<V, E, W> csc;
+  csc.num_rows = coo.num_rows;
+  csc.num_cols = coo.num_cols;
+  csc.column_offsets = std::move(csr.row_offsets);
+  csc.row_indices = std::move(csr.column_indices);
+  csc.values = std::move(csr.values);
+  return csc;
+}
+
+/// CSR -> CSC without materializing a COO (transpose of the sparse
+/// structure).  Used to derive the pull representation from an existing
+/// push representation.
+template <typename V, typename E, typename W>
+csc_t<V, E, W> transpose_to_csc(csr_t<V, E, W> const& csr) {
+  csc_t<V, E, W> csc;
+  csc.num_rows = csr.num_rows;
+  csc.num_cols = csr.num_cols;
+  std::size_t const cols = static_cast<std::size_t>(csr.num_cols);
+  std::size_t const m = csr.column_indices.size();
+  csc.column_offsets.assign(cols + 1, E{0});
+  csc.row_indices.resize(m);
+  csc.values.resize(m);
+
+  for (std::size_t i = 0; i < m; ++i)
+    ++csc.column_offsets[static_cast<std::size_t>(csr.column_indices[i]) + 1];
+  for (std::size_t c = 0; c < cols; ++c)
+    csc.column_offsets[c + 1] += csc.column_offsets[c];
+
+  std::vector<E> cursor(csc.column_offsets.begin(),
+                        csc.column_offsets.end() - 1);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(csr.num_rows); ++r) {
+    for (E e = csr.row_offsets[r]; e < csr.row_offsets[r + 1]; ++e) {
+      std::size_t const c =
+          static_cast<std::size_t>(csr.column_indices[static_cast<std::size_t>(e)]);
+      E const slot = cursor[c]++;
+      csc.row_indices[static_cast<std::size_t>(slot)] = static_cast<V>(r);
+      csc.values[static_cast<std::size_t>(slot)] =
+          csr.values[static_cast<std::size_t>(e)];
+    }
+  }
+  return csc;
+}
+
+/// CSR -> adjacency list.
+template <typename V, typename E, typename W>
+adjacency_list_t<V, W> to_adjacency_list(csr_t<V, E, W> const& csr) {
+  adjacency_list_t<V, W> adj;
+  adj.resize(csr.num_rows);
+  for (V v = 0; v < csr.num_rows; ++v)
+    for (E e = csr.row_offsets[static_cast<std::size_t>(v)];
+         e < csr.row_offsets[static_cast<std::size_t>(v) + 1]; ++e)
+      adj.add_edge(v, csr.column_indices[static_cast<std::size_t>(e)],
+                   csr.values[static_cast<std::size_t>(e)]);
+  return adj;
+}
+
+/// Adjacency list -> COO (for round-tripping into CSR/CSC).
+template <typename V, typename W>
+coo_t<V, edge_t, W> to_coo(adjacency_list_t<V, W> const& adj) {
+  coo_t<V, edge_t, W> coo;
+  coo.num_rows = adj.num_vertices();
+  coo.num_cols = adj.num_vertices();
+  coo.reserve(adj.num_edges());
+  for (V v = 0; v < adj.num_vertices(); ++v)
+    for (auto const& nb : adj.neighbors[static_cast<std::size_t>(v)])
+      coo.push_back(v, nb.vertex, nb.weight);
+  return coo;
+}
+
+}  // namespace essentials::graph

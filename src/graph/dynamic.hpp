@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file graph/dynamic.hpp
+/// \brief A mutable graph: thread-safe incremental edge insertion/removal
+/// over a bucketed adjacency structure, with snapshotting into the static
+/// representations the analytics run on.
+///
+/// The paper's Table I explicitly leaves *dynamic repartitioning* out of
+/// scope; what analytics systems do need is the ingest side — accumulate
+/// streaming edges, then snapshot to CSR for a read-only analytics epoch.
+/// That snapshot IS "another underlying representation" in the paper's
+/// sense: `dynamic_graph_t::snapshot<graph_csr>()` hands back a graph_t
+/// every operator/algorithm in the library accepts.
+///
+/// Concurrency model: per-vertex spinlocks guard each adjacency bucket, so
+/// concurrent inserts to different sources never contend and inserts to the
+/// same source serialize briefly (CP.43).  Snapshot requires external
+/// quiescence (no concurrent writers), like every epoch-based design.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/build.hpp"
+#include "graph/formats.hpp"
+#include "graph/graph.hpp"
+#include "parallel/spinlock.hpp"
+
+namespace essentials::graph {
+
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+class dynamic_graph_t {
+ public:
+  explicit dynamic_graph_t(V num_vertices)
+      : adjacency_(static_cast<std::size_t>(num_vertices)),
+        locks_(static_cast<std::size_t>(num_vertices)) {}
+
+  V num_vertices() const { return static_cast<V>(adjacency_.size()); }
+
+  std::size_t num_edges() const {
+    std::size_t total = 0;
+    for (auto const& bucket : adjacency_)
+      total += bucket.size();
+    return total;
+  }
+
+  /// Insert edge (src, dst, w).  Duplicate (src, dst) pairs update the
+  /// weight in place rather than multiplying edges.  Thread-safe across
+  /// sources and within a source.
+  void add_edge(V src, V dst, W weight) {
+    check(src, dst);
+    std::lock_guard<parallel::spinlock> guard(
+        locks_[static_cast<std::size_t>(src)]);
+    auto& bucket = adjacency_[static_cast<std::size_t>(src)];
+    for (auto& nb : bucket) {
+      if (nb.vertex == dst) {
+        nb.weight = weight;
+        return;
+      }
+    }
+    bucket.push_back({dst, weight});
+  }
+
+  /// Remove edge (src, dst) if present; returns whether an edge was
+  /// removed.  Thread-safe like add_edge.
+  bool remove_edge(V src, V dst) {
+    check(src, dst);
+    std::lock_guard<parallel::spinlock> guard(
+        locks_[static_cast<std::size_t>(src)]);
+    auto& bucket = adjacency_[static_cast<std::size_t>(src)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].vertex == dst) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True iff the edge exists (single-writer or quiescent use).
+  bool has_edge(V src, V dst) const {
+    check(src, dst);
+    for (auto const& nb : adjacency_[static_cast<std::size_t>(src)])
+      if (nb.vertex == dst)
+        return true;
+    return false;
+  }
+
+  E out_degree(V v) const {
+    return static_cast<E>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// Materialize the current edge set as a COO (sorted canonical order).
+  coo_t<V, E, W> to_coo() const {
+    coo_t<V, E, W> coo;
+    coo.num_rows = coo.num_cols = num_vertices();
+    coo.reserve(num_edges());
+    for (std::size_t v = 0; v < adjacency_.size(); ++v)
+      for (auto const& nb : adjacency_[v])
+        coo.push_back(static_cast<V>(v), nb.vertex, nb.weight);
+    sort_and_deduplicate(coo);
+    return coo;
+  }
+
+  /// Snapshot into any graph_t instantiation — the epoch boundary between
+  /// ingest and analytics.
+  template <typename GraphT>
+  GraphT snapshot() const {
+    return from_coo<GraphT>(to_coo());
+  }
+
+ private:
+  struct neighbor_t {
+    V vertex;
+    W weight;
+  };
+
+  void check(V src, V dst) const {
+    expects(src >= 0 && static_cast<std::size_t>(src) < adjacency_.size(),
+            "dynamic_graph: source out of range");
+    expects(dst >= 0 && static_cast<std::size_t>(dst) < adjacency_.size(),
+            "dynamic_graph: destination out of range");
+  }
+
+  std::vector<std::vector<neighbor_t>> adjacency_;
+  mutable std::vector<parallel::spinlock> locks_;
+};
+
+}  // namespace essentials::graph

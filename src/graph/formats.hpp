@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file graph/formats.hpp
+/// \brief The underlying graph representations: COO, CSR, CSC and adjacency
+/// list.
+///
+/// Paper §IV-A: "The underlying graph data structure can be expressed using
+/// common sparse matrix formats such as compressed-sparse row (CSR),
+/// compressed-sparse column (CSC), or an adjacency list."  These are plain
+/// aggregates — the *graph-focused* API lives in graph/graph.hpp, which
+/// composes one or more of these via variadic inheritance exactly as
+/// Listing 1 sketches.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace essentials::graph {
+
+/// Coordinate-list (edge list) format.  The canonical interchange format:
+/// loaders and generators produce COO; builders convert it to CSR/CSC.
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+struct coo_t {
+  using vertex_type = V;
+  using edge_type = E;
+  using weight_type = W;
+
+  V num_rows = 0;
+  V num_cols = 0;
+  std::vector<V> row_indices;     ///< source vertex of each edge
+  std::vector<V> column_indices;  ///< destination vertex of each edge
+  std::vector<W> values;          ///< edge weights (parallel array)
+
+  E num_edges() const { return static_cast<E>(row_indices.size()); }
+
+  void reserve(std::size_t n) {
+    row_indices.reserve(n);
+    column_indices.reserve(n);
+    values.reserve(n);
+  }
+
+  void push_back(V src, V dst, W weight) {
+    row_indices.push_back(src);
+    column_indices.push_back(dst);
+    values.push_back(weight);
+  }
+};
+
+/// Compressed-sparse row: out-edges of vertex v occupy the index range
+/// [row_offsets[v], row_offsets[v+1]) of column_indices/values.  This is the
+/// *push* traversal structure (paper §III-C).  Mirrors Listing 1 verbatim,
+/// generalized over scalar types.
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+struct csr_t {
+  using vertex_type = V;
+  using edge_type = E;
+  using weight_type = W;
+
+  V num_rows = 0;
+  V num_cols = 0;
+  std::vector<E> row_offsets;     ///< size num_rows + 1
+  std::vector<V> column_indices;  ///< size num_edges
+  std::vector<W> values;          ///< size num_edges
+
+  E num_edges() const { return static_cast<E>(column_indices.size()); }
+};
+
+/// Compressed-sparse column: in-edges of vertex v occupy
+/// [column_offsets[v], column_offsets[v+1]) of row_indices/values.  This is
+/// the *pull* traversal structure.  Weights are duplicated from the CSR —
+/// the paper explicitly accepts storing both "at the cost of memory space".
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+struct csc_t {
+  using vertex_type = V;
+  using edge_type = E;
+  using weight_type = W;
+
+  V num_rows = 0;
+  V num_cols = 0;
+  std::vector<E> column_offsets;  ///< size num_cols + 1
+  std::vector<V> row_indices;     ///< size num_edges
+  std::vector<W> values;          ///< size num_edges
+
+  E num_edges() const { return static_cast<E>(row_indices.size()); }
+};
+
+/// Pointer-free adjacency list: a vector of per-vertex neighbor vectors.
+/// Less cache-friendly than CSR but supports incremental mutation, which is
+/// what builders and dynamic-graph experiments need.
+template <typename V = vertex_t, typename W = weight_t>
+struct adjacency_list_t {
+  using vertex_type = V;
+  using weight_type = W;
+
+  struct neighbor_t {
+    V vertex;
+    W weight;
+    friend bool operator==(neighbor_t const&, neighbor_t const&) = default;
+  };
+
+  std::vector<std::vector<neighbor_t>> neighbors;
+
+  V num_vertices() const { return static_cast<V>(neighbors.size()); }
+
+  std::size_t num_edges() const {
+    std::size_t total = 0;
+    for (auto const& adj : neighbors)
+      total += adj.size();
+    return total;
+  }
+
+  void resize(V n) { neighbors.resize(static_cast<std::size_t>(n)); }
+
+  void add_edge(V src, V dst, W weight) {
+    expects(src >= 0 && static_cast<std::size_t>(src) < neighbors.size(),
+            "adjacency_list: source out of range");
+    neighbors[static_cast<std::size_t>(src)].push_back({dst, weight});
+  }
+};
+
+}  // namespace essentials::graph

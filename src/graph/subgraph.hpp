@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file graph/subgraph.hpp
+/// \brief Subgraph extraction: induced subgraphs over a vertex subset and
+/// k-hop ego networks.  The practical workhorse of analytics pipelines
+/// (drill into one community / one user's neighborhood) and the mechanism
+/// partitioned processing uses to hand each worker its slice.
+///
+/// Extraction compacts vertex ids: the result carries the old->new and
+/// new->old maps so per-vertex results can be joined back.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/formats.hpp"
+
+namespace essentials::graph {
+
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+struct subgraph_t {
+  coo_t<V, E, W> edges;        ///< relabeled edge list of the subgraph
+  std::vector<V> to_global;    ///< new id -> original id
+  std::vector<V> to_local;     ///< original id -> new id (invalid_vertex if absent)
+};
+
+/// Induced subgraph: keep exactly the vertices with keep[v] == true and the
+/// edges with both endpoints kept.
+template <typename V, typename E, typename W>
+subgraph_t<V, E, W> induced_subgraph(csr_t<V, E, W> const& csr,
+                                     std::vector<bool> const& keep) {
+  expects(keep.size() == static_cast<std::size_t>(csr.num_rows),
+          "induced_subgraph: mask size mismatch");
+  subgraph_t<V, E, W> sub;
+  sub.to_local.assign(keep.size(), invalid_vertex<V>);
+  for (std::size_t v = 0; v < keep.size(); ++v) {
+    if (keep[v]) {
+      sub.to_local[v] = static_cast<V>(sub.to_global.size());
+      sub.to_global.push_back(static_cast<V>(v));
+    }
+  }
+  sub.edges.num_rows = sub.edges.num_cols =
+      static_cast<V>(sub.to_global.size());
+  for (V const u : sub.to_global) {
+    for (E e = csr.row_offsets[static_cast<std::size_t>(u)];
+         e < csr.row_offsets[static_cast<std::size_t>(u) + 1]; ++e) {
+      V const v = csr.column_indices[static_cast<std::size_t>(e)];
+      if (sub.to_local[static_cast<std::size_t>(v)] != invalid_vertex<V>)
+        sub.edges.push_back(sub.to_local[static_cast<std::size_t>(u)],
+                            sub.to_local[static_cast<std::size_t>(v)],
+                            csr.values[static_cast<std::size_t>(e)]);
+    }
+  }
+  return sub;
+}
+
+/// k-hop ego network of `center`: the induced subgraph over all vertices
+/// within `hops` out-edges of center (center included).
+template <typename V, typename E, typename W>
+subgraph_t<V, E, W> ego_network(csr_t<V, E, W> const& csr, V center,
+                                int hops) {
+  expects(center >= 0 && static_cast<std::size_t>(center) <
+                             static_cast<std::size_t>(csr.num_rows),
+          "ego_network: center out of range");
+  expects(hops >= 0, "ego_network: negative hop count");
+  std::vector<bool> keep(static_cast<std::size_t>(csr.num_rows), false);
+  keep[static_cast<std::size_t>(center)] = true;
+  std::deque<std::pair<V, int>> queue{{center, 0}};
+  while (!queue.empty()) {
+    auto const [v, depth] = queue.front();
+    queue.pop_front();
+    if (depth == hops)
+      continue;
+    for (E e = csr.row_offsets[static_cast<std::size_t>(v)];
+         e < csr.row_offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+      V const nb = csr.column_indices[static_cast<std::size_t>(e)];
+      if (!keep[static_cast<std::size_t>(nb)]) {
+        keep[static_cast<std::size_t>(nb)] = true;
+        queue.emplace_back(nb, depth + 1);
+      }
+    }
+  }
+  // Local ids follow ascending original id; use to_local[center] to find
+  // the center inside the ego network.
+  return induced_subgraph(csr, keep);
+}
+
+}  // namespace essentials::graph

@@ -1,0 +1,93 @@
+#include "io/binary.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "core/types.hpp"
+
+namespace essentials::io {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4553534E43535231ull;  // "ESSNCSR1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T const& value) {
+  out.write(reinterpret_cast<char const*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in)
+    throw graph_error("binary_csr: truncated input");
+}
+
+template <typename T>
+void write_vec(std::ostream& out, std::vector<T> const& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<char const*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::istream& in, std::vector<T>& v) {
+  std::uint64_t size = 0;
+  read_pod(in, size);
+  v.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in)
+    throw graph_error("binary_csr: truncated array");
+}
+
+}  // namespace
+
+void write_binary_csr(std::ostream& out, graph::csr_t<> const& csr) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, csr.num_rows);
+  write_pod(out, csr.num_cols);
+  write_vec(out, csr.row_offsets);
+  write_vec(out, csr.column_indices);
+  write_vec(out, csr.values);
+}
+
+void write_binary_csr_file(std::string const& path, graph::csr_t<> const& csr) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw graph_error("binary_csr: cannot open '" + path + "' for writing");
+  write_binary_csr(out, csr);
+}
+
+graph::csr_t<> read_binary_csr(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(in, magic);
+  if (magic != kMagic)
+    throw graph_error("binary_csr: bad magic (not an essentials CSR file)");
+  read_pod(in, version);
+  if (version != kVersion)
+    throw graph_error("binary_csr: unsupported version");
+  graph::csr_t<> csr;
+  read_pod(in, csr.num_rows);
+  read_pod(in, csr.num_cols);
+  read_vec(in, csr.row_offsets);
+  read_vec(in, csr.column_indices);
+  read_vec(in, csr.values);
+  if (csr.row_offsets.size() != static_cast<std::size_t>(csr.num_rows) + 1 ||
+      csr.values.size() != csr.column_indices.size())
+    throw graph_error("binary_csr: inconsistent array sizes");
+  return csr;
+}
+
+graph::csr_t<> read_binary_csr_file(std::string const& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw graph_error("binary_csr: cannot open '" + path + "'");
+  return read_binary_csr(in);
+}
+
+}  // namespace essentials::io

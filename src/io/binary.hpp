@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file io/binary.hpp
+/// \brief Binary CSR snapshot: a versioned, magic-tagged dump of the three
+/// CSR arrays, for fast reload of graphs that are expensive to build
+/// (sorting + dedup of a large R-MAT dominates end-to-end bench time).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+void write_binary_csr(std::ostream& out, graph::csr_t<> const& csr);
+void write_binary_csr_file(std::string const& path, graph::csr_t<> const& csr);
+
+/// Throws graph_error on bad magic/version/truncation.
+graph::csr_t<> read_binary_csr(std::istream& in);
+graph::csr_t<> read_binary_csr_file(std::string const& path);
+
+}  // namespace essentials::io

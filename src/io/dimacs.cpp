@@ -1,0 +1,78 @@
+#include "io/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace essentials::io {
+
+graph::coo_t<> read_dimacs(std::istream& in) {
+  graph::coo_t<> coo;
+  bool seen_problem = false;
+  long long n = 0, m = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty())
+      continue;
+    switch (line[0]) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        std::istringstream ls(line);
+        std::string p, sp;
+        if (!(ls >> p >> sp >> n >> m) || sp != "sp" || n < 0 || m < 0)
+          throw graph_error("dimacs: malformed problem line " +
+                            std::to_string(line_no));
+        seen_problem = true;
+        coo.num_rows = coo.num_cols = static_cast<vertex_t>(n);
+        coo.reserve(static_cast<std::size_t>(m));
+        break;
+      }
+      case 'a': {
+        if (!seen_problem)
+          throw graph_error("dimacs: arc before problem line");
+        std::istringstream ls(line);
+        char a;
+        long long u = 0, v = 0;
+        double w = 0;
+        if (!(ls >> a >> u >> v >> w))
+          throw graph_error("dimacs: malformed arc line " +
+                            std::to_string(line_no));
+        if (u < 1 || u > n || v < 1 || v > n)
+          throw graph_error("dimacs: arc endpoint out of range on line " +
+                            std::to_string(line_no));
+        coo.push_back(static_cast<vertex_t>(u - 1),
+                      static_cast<vertex_t>(v - 1),
+                      static_cast<weight_t>(w));
+        break;
+      }
+      default:
+        throw graph_error("dimacs: unknown line type on line " +
+                          std::to_string(line_no));
+    }
+  }
+  if (!seen_problem)
+    throw graph_error("dimacs: missing problem line");
+  return coo;
+}
+
+graph::coo_t<> read_dimacs_file(std::string const& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw graph_error("dimacs: cannot open '" + path + "'");
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, graph::coo_t<> const& coo) {
+  out << "c written by essentials\n";
+  out << "p sp " << coo.num_rows << ' ' << coo.num_edges() << '\n';
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
+    out << "a " << (coo.row_indices[i] + 1) << ' '
+        << (coo.column_indices[i] + 1) << ' '
+        << static_cast<long long>(coo.values[i]) << '\n';
+}
+
+}  // namespace essentials::io

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file io/dimacs.hpp
+/// \brief 9th DIMACS shortest-path challenge `.gr` reader — the standard
+/// distribution format of real road networks (the workload family our
+/// grid generator substitutes for).  Format: `c` comments, one
+/// `p sp <n> <m>` problem line, `a <src> <dst> <weight>` arcs, 1-based ids.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+graph::coo_t<> read_dimacs(std::istream& in);
+graph::coo_t<> read_dimacs_file(std::string const& path);
+
+/// Write a COO as a DIMACS .gr problem (weights rounded to long long).
+void write_dimacs(std::ostream& out, graph::coo_t<> const& coo);
+
+}  // namespace essentials::io

@@ -1,0 +1,45 @@
+#include "io/dot.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace essentials::io {
+
+void write_dot(std::ostream& out, graph::coo_t<> const& coo,
+               dot_options const& opt) {
+  expects(coo.num_rows <= opt.max_vertices,
+          "write_dot: graph exceeds max_vertices (visualization cap)");
+  expects(opt.groups.empty() ||
+              opt.groups.size() == static_cast<std::size_t>(coo.num_rows),
+          "write_dot: groups size mismatch");
+
+  // A small qualitative palette, cycled by group id.
+  constexpr std::array<char const*, 8> kPalette = {
+      "#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+      "#80b1d3", "#fdb462", "#b3de69", "#fccde5"};
+
+  out << (opt.undirected ? "graph" : "digraph") << " g {\n";
+  out << "  node [shape=circle, style=filled, fillcolor=white];\n";
+  if (!opt.groups.empty()) {
+    for (vertex_t v = 0; v < coo.num_rows; ++v) {
+      auto const group = opt.groups[static_cast<std::size_t>(v)];
+      out << "  " << v << " [fillcolor=\""
+          << kPalette[static_cast<std::size_t>(group) % kPalette.size()]
+          << "\"];\n";
+    }
+  }
+  char const* const arrow = opt.undirected ? " -- " : " -> ";
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i) {
+    auto const u = coo.row_indices[i];
+    auto const v = coo.column_indices[i];
+    if (opt.undirected && u > v)
+      continue;  // one line per undirected pair
+    out << "  " << u << arrow << v;
+    if (opt.weight_labels)
+      out << " [label=\"" << coo.values[i] << "\"]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace essentials::io

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file io/dot.hpp
+/// \brief Graphviz DOT exporter — visualization is half of small-graph
+/// debugging.  Writes directed or undirected DOT with optional weight
+/// labels and per-vertex attributes (e.g. a partition or component id
+/// mapped to a color), capped by a vertex budget so a stray call on a
+/// million-vertex graph cannot produce a gigabyte of text.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+struct dot_options {
+  bool undirected = false;       ///< emit `graph`/`--` instead of `digraph`/`->`
+  bool weight_labels = true;     ///< annotate edges with weights
+  vertex_t max_vertices = 1000;  ///< refuse larger graphs (graph_error)
+  /// Optional per-vertex group (e.g. partition/component id) rendered as a
+  /// fill color; empty = no grouping.
+  std::vector<int> groups;
+};
+
+/// Write `coo` as DOT.  For undirected output, each {u, v} pair is emitted
+/// once (u <= v edge kept).
+void write_dot(std::ostream& out, graph::coo_t<> const& coo,
+               dot_options const& opt = {});
+
+}  // namespace essentials::io

@@ -1,0 +1,58 @@
+#include "io/edge_list.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace essentials::io {
+
+graph::coo_t<> read_edge_list(std::istream& in, edge_list_options const& opt) {
+  graph::coo_t<> coo;
+  vertex_t max_id = -1;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t const first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' || line[first] == '%')
+      continue;
+    std::istringstream ls(line);
+    long long u = 0, v = 0;
+    double w = opt.default_weight;
+    if (!(ls >> u >> v))
+      throw graph_error("edge_list: malformed line " + std::to_string(line_no));
+    ls >> w;  // optional third column
+    if (u < 0 || v < 0)
+      throw graph_error("edge_list: negative vertex id on line " +
+                        std::to_string(line_no));
+    auto const src = static_cast<vertex_t>(u);
+    auto const dst = static_cast<vertex_t>(v);
+    max_id = std::max({max_id, src, dst});
+    coo.push_back(src, dst, static_cast<weight_t>(w));
+  }
+  vertex_t const inferred = max_id + 1;
+  if (opt.num_vertices > 0) {
+    if (opt.num_vertices < inferred)
+      throw graph_error("edge_list: explicit vertex count smaller than max id");
+    coo.num_rows = coo.num_cols = opt.num_vertices;
+  } else {
+    coo.num_rows = coo.num_cols = inferred;
+  }
+  return coo;
+}
+
+graph::coo_t<> read_edge_list_file(std::string const& path,
+                                   edge_list_options const& opt) {
+  std::ifstream in(path);
+  if (!in)
+    throw graph_error("edge_list: cannot open '" + path + "'");
+  return read_edge_list(in, opt);
+}
+
+void write_edge_list(std::ostream& out, graph::coo_t<> const& coo) {
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
+    out << coo.row_indices[i] << '\t' << coo.column_indices[i] << '\t'
+        << coo.values[i] << '\n';
+}
+
+}  // namespace essentials::io

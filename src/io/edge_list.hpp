@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file io/edge_list.hpp
+/// \brief Whitespace-separated edge-list loader (the SNAP dataset format):
+/// one `src dst [weight]` per line, `#` or `%` comments, 0-based ids.
+/// Vertex count is inferred as max id + 1 unless overridden.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/types.hpp"
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+struct edge_list_options {
+  weight_t default_weight = 1.0f;  ///< used for 2-column lines
+  vertex_t num_vertices = 0;       ///< 0 -> infer from max id + 1
+};
+
+graph::coo_t<> read_edge_list(std::istream& in, edge_list_options const& opt = {});
+graph::coo_t<> read_edge_list_file(std::string const& path,
+                                   edge_list_options const& opt = {});
+
+/// Write `src dst weight` lines.
+void write_edge_list(std::ostream& out, graph::coo_t<> const& coo);
+
+}  // namespace essentials::io

@@ -1,0 +1,99 @@
+#include "io/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace essentials::io {
+
+namespace {
+
+/// Reads the next line that is neither empty nor a '%' comment.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t const first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+      continue;
+    if (line[first] == '%')
+      continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+graph::coo_t<> read_matrix_market(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header))
+    throw graph_error("matrix_market: empty input");
+
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    throw graph_error("matrix_market: missing %%MatrixMarket banner");
+  if (object != "matrix" || format != "coordinate")
+    throw graph_error("matrix_market: only 'matrix coordinate' is supported");
+  bool const pattern = (field == "pattern");
+  if (!pattern && field != "real" && field != "integer" && field != "double")
+    throw graph_error("matrix_market: unsupported field type '" + field + "'");
+  bool const symmetric = (symmetry == "symmetric" || symmetry == "skew-symmetric");
+  if (!symmetric && symmetry != "general")
+    throw graph_error("matrix_market: unsupported symmetry '" + symmetry + "'");
+
+  std::string line;
+  if (!next_content_line(in, line))
+    throw graph_error("matrix_market: missing size line");
+  long long rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream ls(line);
+    if (!(ls >> rows >> cols >> entries) || rows < 0 || cols < 0 || entries < 0)
+      throw graph_error("matrix_market: malformed size line");
+  }
+
+  graph::coo_t<> coo;
+  coo.num_rows = static_cast<vertex_t>(rows);
+  coo.num_cols = static_cast<vertex_t>(cols);
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+
+  for (long long i = 0; i < entries; ++i) {
+    if (!next_content_line(in, line))
+      throw graph_error("matrix_market: truncated entry list");
+    std::istringstream ls(line);
+    long long r = 0, c = 0;
+    double w = 1.0;
+    if (!(ls >> r >> c))
+      throw graph_error("matrix_market: malformed entry line");
+    if (!pattern && !(ls >> w))
+      throw graph_error("matrix_market: entry missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw graph_error("matrix_market: entry index out of bounds");
+    auto const src = static_cast<vertex_t>(r - 1);
+    auto const dst = static_cast<vertex_t>(c - 1);
+    coo.push_back(src, dst, static_cast<weight_t>(w));
+    if (symmetric && src != dst)
+      coo.push_back(dst, src, static_cast<weight_t>(w));
+  }
+  return coo;
+}
+
+graph::coo_t<> read_matrix_market_file(std::string const& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw graph_error("matrix_market: cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, graph::coo_t<> const& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by essentials\n";
+  out << coo.num_rows << ' ' << coo.num_cols << ' ' << coo.num_edges() << '\n';
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
+    out << (coo.row_indices[i] + 1) << ' ' << (coo.column_indices[i] + 1)
+        << ' ' << coo.values[i] << '\n';
+}
+
+}  // namespace essentials::io

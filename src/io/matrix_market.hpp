@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file io/matrix_market.hpp
+/// \brief MatrixMarket (.mtx) coordinate-format reader/writer.
+///
+/// The lingua franca of the sparse-graph world (SuiteSparse collection).
+/// Supports `matrix coordinate {real|integer|pattern} {general|symmetric}`;
+/// symmetric inputs are expanded to both directions, pattern inputs get
+/// unit weights.  Indices are converted from MatrixMarket's 1-based
+/// convention to our 0-based one.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+/// Parse an .mtx stream into COO.  Throws graph_error on malformed input.
+graph::coo_t<> read_matrix_market(std::istream& in);
+
+/// Convenience: open and parse a file by path.
+graph::coo_t<> read_matrix_market_file(std::string const& path);
+
+/// Serialize COO as `matrix coordinate real general`.
+void write_matrix_market(std::ostream& out, graph::coo_t<> const& coo);
+
+}  // namespace essentials::io

@@ -1,0 +1,100 @@
+#include "io/metis.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/build.hpp"
+
+namespace essentials::io {
+
+namespace {
+
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t const first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+      continue;
+    if (line[first] == '%')
+      continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+graph::coo_t<> read_metis(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line))
+    throw graph_error("metis: empty input");
+  long long n = 0, m = 0;
+  std::string fmt = "0";
+  {
+    std::istringstream hs(line);
+    if (!(hs >> n >> m) || n < 0 || m < 0)
+      throw graph_error("metis: malformed header");
+    hs >> fmt;  // optional
+  }
+  bool const edge_weights = fmt.size() >= 1 && fmt.back() == '1';
+  if (fmt != "0" && fmt != "1" && fmt != "001" && fmt != "000")
+    throw graph_error("metis: unsupported fmt '" + fmt +
+                      "' (vertex weights not supported)");
+
+  graph::coo_t<> coo;
+  coo.num_rows = coo.num_cols = static_cast<vertex_t>(n);
+  coo.reserve(static_cast<std::size_t>(2 * m));
+  for (long long v = 0; v < n; ++v) {
+    if (!next_content_line(in, line))
+      throw graph_error("metis: missing adjacency line for vertex " +
+                        std::to_string(v + 1));
+    std::istringstream ls(line);
+    long long nb = 0;
+    while (ls >> nb) {
+      if (nb < 1 || nb > n)
+        throw graph_error("metis: neighbor out of range on vertex " +
+                          std::to_string(v + 1));
+      double w = 1.0;
+      if (edge_weights && !(ls >> w))
+        throw graph_error("metis: missing edge weight on vertex " +
+                          std::to_string(v + 1));
+      coo.push_back(static_cast<vertex_t>(v), static_cast<vertex_t>(nb - 1),
+                    static_cast<weight_t>(w));
+    }
+  }
+  if (coo.num_edges() != static_cast<edge_t>(2 * m))
+    throw graph_error("metis: header claims " + std::to_string(m) +
+                      " edges but adjacency lists hold " +
+                      std::to_string(coo.num_edges() / 2) + " pairs");
+  return coo;
+}
+
+graph::coo_t<> read_metis_file(std::string const& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw graph_error("metis: cannot open '" + path + "'");
+  return read_metis(in);
+}
+
+void write_metis(std::ostream& out, graph::coo_t<> const& coo) {
+  // Build per-vertex adjacency from the (assumed symmetric) COO.
+  std::size_t const n = static_cast<std::size_t>(coo.num_rows);
+  std::vector<std::vector<std::pair<vertex_t, weight_t>>> adjacency(n);
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
+    adjacency[static_cast<std::size_t>(coo.row_indices[i])].emplace_back(
+        coo.column_indices[i], coo.values[i]);
+  out << n << ' ' << coo.num_edges() / 2 << " 001\n";
+  for (std::size_t v = 0; v < n; ++v) {
+    bool first = true;
+    for (auto const& [nb, w] : adjacency[v]) {
+      if (!first)
+        out << ' ';
+      out << (nb + 1) << ' ' << w;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace essentials::io

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file io/metis.hpp
+/// \brief METIS .graph format reader/writer — the input format of the
+/// partitioner family the paper's Table I names.  Format: first line
+/// `n m [fmt]` (fmt 0 = plain, 1 = edge weights), then one line per vertex
+/// listing its 1-based neighbors (and weights when fmt == 1); `%` comments.
+/// METIS graphs are undirected: each edge appears in both endpoint lines.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/formats.hpp"
+
+namespace essentials::io {
+
+/// Parse a METIS .graph stream into COO (both directions of every edge, as
+/// the format stores them).  Throws graph_error on malformed input.
+graph::coo_t<> read_metis(std::istream& in);
+graph::coo_t<> read_metis_file(std::string const& path);
+
+/// Write a (symmetric) COO as METIS .graph with edge weights (fmt 001).
+void write_metis(std::ostream& out, graph::coo_t<> const& coo);
+
+}  // namespace essentials::io

@@ -1,0 +1,190 @@
+#include "mpsim/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
+
+namespace essentials::mpsim {
+
+communicator::communicator(int size) {
+  expects(size >= 1, "communicator: need at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    mailboxes_.push_back(std::make_unique<mailbox_t>());
+}
+
+void communicator::send(int from, int to, int tag,
+                        std::vector<std::uint64_t> payload) {
+  expects(to >= 0 && to < size(), "communicator::send: bad destination rank");
+  expects(from >= 0 && from < size(), "communicator::send: bad source rank");
+  mailbox_t& box = *mailboxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> guard(box.mutex);
+    box.messages.push_back(message_t{from, tag, std::move(payload)});
+  }
+  box.not_empty.notify_all();
+}
+
+bool communicator::recv(int rank, int tag, message_t& out) {
+  expects(rank >= 0 && rank < size(), "communicator::recv: bad rank");
+  mailbox_t& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto const it = std::find_if(
+        box.messages.begin(), box.messages.end(),
+        [tag](message_t const& m) { return tag < 0 || m.tag == tag; });
+    if (it != box.messages.end()) {
+      out = std::move(*it);
+      box.messages.erase(it);
+      return true;
+    }
+    if (shutdown_.load(std::memory_order_seq_cst))
+      return false;
+    box.not_empty.wait(lock);
+  }
+}
+
+bool communicator::try_recv(int rank, int tag, message_t& out) {
+  expects(rank >= 0 && rank < size(), "communicator::try_recv: bad rank");
+  mailbox_t& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> guard(box.mutex);
+  auto const it = std::find_if(
+      box.messages.begin(), box.messages.end(),
+      [tag](message_t const& m) { return tag < 0 || m.tag == tag; });
+  if (it == box.messages.end())
+    return false;
+  out = std::move(*it);
+  box.messages.erase(it);
+  return true;
+}
+
+std::size_t communicator::mailbox_size(int rank) const {
+  mailbox_t& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> guard(box.mutex);
+  return box.messages.size();
+}
+
+void communicator::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  std::uint64_t const generation = barrier_generation_;
+  if (++barrier_arrived_ == size()) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != generation; });
+}
+
+std::uint64_t communicator::all_reduce_sum(int rank, std::uint64_t value) {
+  (void)rank;  // kept in the signature for API parity with MPI_Allreduce
+  std::unique_lock<std::mutex> lock(reduce_mutex_);
+  std::uint64_t const generation = reduce_generation_;
+  reduce_accumulator_ += value;
+  if (++reduce_arrived_ == size()) {
+    reduce_result_ = reduce_accumulator_;
+    reduce_accumulator_ = 0;
+    reduce_arrived_ = 0;
+    ++reduce_generation_;
+    reduce_cv_.notify_all();
+    return reduce_result_;
+  }
+  reduce_cv_.wait(lock, [&] { return reduce_generation_ != generation; });
+  return reduce_result_;
+}
+
+std::uint64_t communicator::all_reduce_max(int rank, std::uint64_t value) {
+  (void)rank;
+  std::unique_lock<std::mutex> lock(reduce_mutex_);
+  std::uint64_t const generation = reduce_generation_;
+  if (reduce_arrived_ == 0)
+    reduce_accumulator_ = value;
+  else
+    reduce_accumulator_ = std::max(reduce_accumulator_, value);
+  if (++reduce_arrived_ == size()) {
+    reduce_result_ = reduce_accumulator_;
+    reduce_accumulator_ = 0;
+    reduce_arrived_ = 0;
+    ++reduce_generation_;
+    reduce_cv_.notify_all();
+    return reduce_result_;
+  }
+  reduce_cv_.wait(lock, [&] { return reduce_generation_ != generation; });
+  return reduce_result_;
+}
+
+std::vector<std::uint64_t> communicator::broadcast(
+    int rank, int root, int tag, std::vector<std::uint64_t> payload) {
+  expects(root >= 0 && root < size(), "communicator::broadcast: bad root");
+  if (rank == root) {
+    for (int dst = 0; dst < size(); ++dst)
+      send(root, dst, tag, payload);  // self-send too: uniform receive path
+  }
+  message_t msg;
+  if (!recv(rank, tag, msg))
+    return {};
+  return std::move(msg.payload);
+}
+
+std::vector<std::uint64_t> communicator::gather(
+    int rank, int root, int tag, std::vector<std::uint64_t> payload) {
+  expects(root >= 0 && root < size(), "communicator::gather: bad root");
+  send(rank, root, tag, std::move(payload));
+  if (rank != root)
+    return {};
+  // Collect one message per rank; order the concatenation by source rank.
+  std::vector<std::vector<std::uint64_t>> parts(
+      static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) {
+    message_t msg;
+    if (!recv(root, tag, msg))
+      return {};
+    parts[static_cast<std::size_t>(msg.source)] = std::move(msg.payload);
+  }
+  std::vector<std::uint64_t> all;
+  for (auto& p : parts)
+    all.insert(all.end(), p.begin(), p.end());
+  return all;
+}
+
+void communicator::shutdown() {
+  shutdown_.store(true, std::memory_order_seq_cst);
+  for (auto& box : mailboxes_) {
+    // Acquire/release each mailbox mutex so a receiver that checked the
+    // flag before our store has entered wait() (releasing the mutex) by the
+    // time we notify — no lost wakeup.
+    { std::lock_guard<std::mutex> guard(box->mutex); }
+    box->not_empty.notify_all();
+  }
+}
+
+void communicator::run(int size,
+                       std::function<void(communicator&, int)> const& body) {
+  communicator comm(size);
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(size));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (int r = 0; r < size; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        body(comm, r);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> guard(error_mutex);
+          if (!first_error)
+            first_error = std::current_exception();
+        }
+        comm.shutdown();  // unblock peers so join() completes
+      }
+    });
+  }
+  for (auto& t : ranks)
+    t.join();
+  if (first_error)
+    std::rethrow_exception(first_error);
+}
+
+}  // namespace essentials::mpsim

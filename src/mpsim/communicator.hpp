@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file mpsim/communicator.hpp
+/// \brief In-process message-passing substrate: MPI-flavoured ranks,
+/// mailboxes, barrier and reductions.
+///
+/// Substitution (DESIGN.md §2): the paper's communication pillar contrasts
+/// shared-memory with message-passing, where "data is made available
+/// through messages passed between processes".  We simulate processes with
+/// threads that *never touch each other's algorithm state directly*: the
+/// only inter-rank channel is `send`/`recv` of typed messages, plus the
+/// collectives (`barrier`, `all_reduce_sum`, `all_gather_counts`).  The
+/// message-passing frontier (core/frontier/distributed_frontier.hpp) is
+/// built exclusively on this API, so the communication model it exercises
+/// is the one the paper describes.
+///
+/// Payloads are flat u64 words (vertex ids, edge ids, or bit-cast weights)
+/// — matching the "frontier elements as messages" use case without paying
+/// for general serialization.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace essentials::mpsim {
+
+/// One in-flight message.
+struct message_t {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint64_t> payload;
+};
+
+class communicator {
+ public:
+  /// A world of `size` ranks.
+  explicit communicator(int size);
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+
+  /// Deliver `payload` to rank `to`'s mailbox.  May be called by any rank
+  /// (including `to` itself — self-sends are ordinary messages).
+  void send(int from, int to, int tag, std::vector<std::uint64_t> payload);
+
+  /// Blocking receive of the next message addressed to `rank` with matching
+  /// `tag` (tag < 0 matches anything).  Returns false if the communicator
+  /// was shut down while waiting.
+  bool recv(int rank, int tag, message_t& out);
+
+  /// Non-blocking receive; returns false if no matching message is queued.
+  bool try_recv(int rank, int tag, message_t& out);
+
+  /// Number of queued messages for `rank` (racy snapshot).
+  std::size_t mailbox_size(int rank) const;
+
+  /// Dissemination-free central barrier: blocks until all `size()` ranks
+  /// arrived.  Reusable (sense-reversing).
+  void barrier();
+
+  /// All-reduce: every rank contributes `value`; all ranks receive the sum.
+  /// Internally a barrier-synchronized shared accumulator — the *collective
+  /// interface* is what matters to callers, not the transport.
+  std::uint64_t all_reduce_sum(int rank, std::uint64_t value);
+
+  /// All-reduce with max combiner (e.g. "has any rank seen an error",
+  /// "global maximum distance").
+  std::uint64_t all_reduce_max(int rank, std::uint64_t value);
+
+  /// One-to-all broadcast: `root`'s payload is delivered to every rank's
+  /// mailbox (tag `tag`); all ranks — including root — then receive it via
+  /// the returned value.  Collective: every rank must call it.
+  std::vector<std::uint64_t> broadcast(int rank, int root, int tag,
+                                       std::vector<std::uint64_t> payload);
+
+  /// All-to-one gather: every rank contributes a payload, `root` receives
+  /// the concatenation ordered by rank; other ranks receive empty.
+  /// Collective: every rank must call it.
+  std::vector<std::uint64_t> gather(int rank, int root, int tag,
+                                    std::vector<std::uint64_t> payload);
+
+  /// Wake all blocked receivers and make subsequent recv() return false.
+  void shutdown();
+
+  /// Convenience driver: spawn `size` threads, run `body(comm, rank)` on
+  /// each, join all.  Exceptions in a rank propagate to the caller.
+  static void run(int size,
+                  std::function<void(communicator&, int)> const& body);
+
+ private:
+  struct mailbox_t {
+    std::mutex mutex;
+    std::condition_variable not_empty;
+    std::deque<message_t> messages;
+  };
+
+  // Mailboxes are held by unique_ptr so the vector is constructible (mutex
+  // is immovable).
+  std::vector<std::unique_ptr<mailbox_t>> mailboxes_;
+  std::atomic<bool> shutdown_{false};
+
+  // Barrier state (central, sense-reversing).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // all_reduce state.
+  std::mutex reduce_mutex_;
+  std::uint64_t reduce_accumulator_ = 0;
+  std::uint64_t reduce_result_ = 0;
+  int reduce_arrived_ = 0;
+  std::condition_variable reduce_cv_;
+  std::uint64_t reduce_generation_ = 0;
+};
+
+}  // namespace essentials::mpsim

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file parallel/mpmc_queue.hpp
+/// \brief Blocking multi-producer/multi-consumer queue with cooperative
+/// termination detection.
+///
+/// This is the substrate behind the paper's *asynchronous queue* frontier
+/// (§III-B, citing Chen et al.'s Atos scheduler): work items — active
+/// vertices or messages — are pushed by whichever lane discovers them and
+/// popped by whichever lane is free, with no superstep barrier anywhere.
+///
+/// Termination of an asynchronous graph algorithm is non-trivial: an empty
+/// queue does not mean the algorithm converged, because an in-flight worker
+/// may be about to push new work.  We use the classic pending-work counter:
+/// the count of items that are either queued or being processed.  A consumer
+/// calls `pop`, processes the item (pushing any new work), then calls
+/// `done_processing()`.  When the counter hits zero the queue is drained AND
+/// quiescent, and every blocked `pop` returns false — the convergence
+/// condition of the asynchronous timing model.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace essentials::parallel {
+
+template <typename T>
+class mpmc_queue {
+ public:
+  mpmc_queue() = default;
+  mpmc_queue(mpmc_queue const&) = delete;
+  mpmc_queue& operator=(mpmc_queue const&) = delete;
+
+  /// Push one work item.  Safe from any thread, including consumers that are
+  /// mid-processing (their own pending slot keeps the queue alive).
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      items_.push_back(std::move(value));
+      ++pending_;
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Push a batch under one lock acquisition (CP.43).
+  template <typename Iterator>
+  void push_batch(Iterator first, Iterator last) {
+    if (first == last)
+      return;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      for (; first != last; ++first) {
+        items_.push_back(*first);
+        ++pending_;
+      }
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Blocking pop.  Returns true with a value, or false when the algorithm
+  /// has terminated (no queued items and no in-flight processing).  A true
+  /// return transfers one pending slot to the caller, who MUST call
+  /// done_processing() after handling the item (and after pushing any work
+  /// the item generated).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || pending_ == 0 || closed_;
+    });
+    if (items_.empty())
+      return false;  // terminated (quiescent) or closed
+    out = std::move(items_.front());
+    items_.pop_front();
+    // The pending slot stays accounted to this item until done_processing().
+    return true;
+  }
+
+  /// Non-blocking pop; returns nullopt when nothing is queued *right now*
+  /// (the algorithm may or may not have terminated — check is_quiescent()).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (items_.empty())
+      return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Signal that one previously popped item is fully processed.  When this
+  /// was the last in-flight item and the queue is empty, every blocked pop
+  /// wakes up and returns false.
+  void done_processing() {
+    std::size_t remaining;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      remaining = --pending_;
+    }
+    if (remaining == 0)
+      not_empty_.notify_all();
+  }
+
+  /// Force-terminate: wake all consumers; subsequent pops return false even
+  /// if items remain (used for early-exit convergence conditions).
+  void close() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Items currently queued (racy snapshot — monitoring only).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return items_.size();
+  }
+
+  /// True when nothing is queued and nothing is in flight.
+  bool is_quiescent() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return pending_ == 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t pending_ = 0;  // queued + in-flight items
+  bool closed_ = false;
+};
+
+}  // namespace essentials::parallel

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file parallel/spinlock.hpp
+/// \brief Tiny test-and-test-and-set spinlock for very short critical
+/// sections (e.g. per-bucket locks in the mutex-based frontier append that
+/// Listing 3 demonstrates).  Satisfies the Lockable requirements, so it
+/// composes with std::lock_guard / std::scoped_lock (CP.20: RAII, never
+/// plain lock/unlock).
+
+#include <atomic>
+
+namespace essentials::parallel {
+
+class spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire))
+        return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace essentials::parallel

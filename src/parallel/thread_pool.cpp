@@ -1,0 +1,109 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <latch>
+#include <stdexcept>
+#include <string>
+
+namespace essentials::parallel {
+
+thread_pool::thread_pool(std::size_t num_threads) {
+  if (num_threads == 0)
+    num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stopping_ = true;
+  }
+  has_work_.notify_all();
+  for (auto& w : workers_)
+    w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  has_work_.notify_one();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      has_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty())
+        return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // user exceptions terminate by design: a lost superstep chunk
+             // would otherwise silently corrupt the algorithm's state.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      all_idle_.notify_all();
+  }
+}
+
+void thread_pool::run_blocked(
+    std::size_t n,
+    std::function<void(std::size_t, std::size_t)> const& fn,
+    std::size_t grain) {
+  if (n == 0)
+    return;
+  grain = std::max<std::size_t>(grain, 1);
+  std::size_t const lanes = size() + 1;  // workers + calling thread
+  std::size_t const max_chunks = 4 * lanes;
+  std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  std::size_t const step = (n + chunks - 1) / chunks;
+  chunks = (n + step - 1) / step;  // recompute after rounding step up
+
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  // The calling thread takes the first chunk itself (one fewer enqueue and
+  // guarantees forward progress even if all workers are busy elsewhere).
+  std::latch done(static_cast<std::ptrdiff_t>(chunks - 1));
+  for (std::size_t c = 1; c < chunks; ++c) {
+    std::size_t const begin = c * step;
+    std::size_t const end = std::min(n, begin + step);
+    submit([&fn, &done, begin, end] {
+      fn(begin, end);
+      done.count_down();
+    });
+  }
+  fn(0, std::min(n, step));
+  done.wait();
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+thread_pool& default_pool() {
+  static thread_pool pool([] {
+    if (char const* env = std::getenv("ESSENTIALS_NUM_THREADS")) {
+      int const parsed = std::atoi(env);
+      if (parsed > 0)
+        return static_cast<std::size_t>(parsed);
+    }
+    std::size_t hw = std::thread::hardware_concurrency();
+    return std::max<std::size_t>(hw, 4);
+  }());
+  return pool;
+}
+
+}  // namespace essentials::parallel

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file parallel/thread_pool.hpp
+/// \brief A persistent worker pool: the execution substrate behind the
+/// framework's `par` and `par_nosync` execution policies.
+///
+/// Design notes (following the C++ Core Guidelines concurrency rules):
+///  - CP.41 "minimize thread creation and destruction": workers are created
+///    once and reused for every operator invocation.
+///  - CP.4  "think in terms of tasks": the public API is task submission and
+///    bulk index-space execution, never raw threads.
+///  - CP.42 "don't wait without a condition": all waits are predicated
+///    condition-variable waits.
+///
+/// The pool offers two completion models, which is exactly the distinction
+/// the paper draws between bulk-synchronous and asynchronous timing:
+///  - `run_blocked(n, fn)` partitions [0, n) into chunks, executes them on
+///    the workers and *blocks the caller* until every chunk finished — a BSP
+///    superstep with an implicit global barrier.
+///  - `submit(fn)` enqueues fire-and-forget work; the caller may continue
+///    and later call `wait_idle()` (or never), which is the `par_nosync`
+///    behaviour of Listing 3's alternative overload.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace essentials::parallel {
+
+class thread_pool {
+ public:
+  /// Creates `num_threads` persistent workers.  `num_threads == 0` is
+  /// normalized to 1 (a pool that still runs everything, just serially on
+  /// one worker) so callers never divide by zero when chunking.
+  explicit thread_pool(std::size_t num_threads);
+  ~thread_pool();
+
+  thread_pool(thread_pool const&) = delete;
+  thread_pool& operator=(thread_pool const&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget task (asynchronous model).  The task may run
+  /// on any worker at any later time; use wait_idle() for a full barrier.
+  void submit(std::function<void()> task);
+
+  /// Execute `fn(chunk_begin, chunk_end)` over a partition of [0, n) and
+  /// block until all chunks completed (bulk-synchronous model).  The calling
+  /// thread participates in the work, so a pool of size P uses P+1 lanes and
+  /// `run_blocked` from a worker thread cannot deadlock the pool.
+  ///
+  /// `grain` is the minimum chunk size; chunk count never exceeds
+  /// 4 * (size() + 1) to bound scheduling overhead.
+  ///
+  /// Chunking guarantee (relied upon by parallel/for_each.hpp's two-pass
+  /// exclusive_scan): for fixed (n, grain) the partition is deterministic,
+  /// every chunk's `begin` is a multiple of a single step value, and that
+  /// step equals ceil(n / min(4*(size()+1), ceil(n/grain))).  Callers that
+  /// pass that step back in as `grain` therefore observe chunk boundaries
+  /// exactly at multiples of it.
+  void run_blocked(std::size_t n,
+                   std::function<void(std::size_t, std::size_t)> const& fn,
+                   std::size_t grain = 1);
+
+  /// Block until the task queue is empty and every worker is idle — the
+  /// explicit barrier an asynchronous phase may (or may not) choose to end
+  /// with.
+  void wait_idle();
+
+  /// Count of tasks submitted and not yet finished (approximate; intended
+  /// for monitoring/termination heuristics, not synchronization).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable has_work_;
+  std::condition_variable all_idle_;
+  std::atomic<std::size_t> pending_{0};  // queued + running tasks
+  bool stopping_ = false;
+};
+
+/// The process-wide default pool used by execution policies that do not
+/// carry an explicit pool reference.  Sized from the environment variable
+/// `ESSENTIALS_NUM_THREADS` when set, otherwise from
+/// `std::thread::hardware_concurrency()`, with a floor of 4 so that
+/// parallel code paths (atomics, races, chunking) are genuinely exercised
+/// even on single-core CI machines.
+thread_pool& default_pool();
+
+/// Number of lanes `run_blocked` on the default pool will use (workers plus
+/// the calling thread).  Handy for sizing per-thread scratch buffers.
+inline std::size_t default_lanes() {
+  return default_pool().size() + 1;
+}
+
+}  // namespace essentials::parallel

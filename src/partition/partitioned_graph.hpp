@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file partition/partitioned_graph.hpp
+/// \brief A partitioned graph exposed through the *same* native-graph API —
+/// the paper's §III-D vision realized: "when the top-level graph data
+/// structure is queried, the APIs will need to support the use of the
+/// corresponding partitioned sub-graph to return the result of a query."
+///
+/// Internally the edge set is split into one CSR fragment per part (a
+/// fragment holds the out-edges of the vertices its part owns; column ids
+/// stay global).  The top-level `get_edges`/`get_dest_vertex`/
+/// `get_edge_weight` queries route to the owning fragment, with edge ids
+/// living in a concatenated global space — so every operator and algorithm
+/// in this library (advance, SSSP, BFS, ...) runs on a partitioned graph
+/// unchanged.  Tests assert exactly that.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/formats.hpp"
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace essentials::partition {
+
+template <typename V = vertex_t, typename E = edge_t, typename W = weight_t>
+class partitioned_graph_t {
+ public:
+  using vertex_type = V;
+  using edge_type = E;
+  using weight_type = W;
+  static constexpr bool has_csr = true;   ///< push queries are served
+  static constexpr bool has_csc = false;  ///< pull is not (transpose first)
+  static constexpr bool has_coo = false;
+
+  partitioned_graph_t() = default;
+
+  /// Split `csr` according to `p`.
+  partitioned_graph_t(graph::csr_t<V, E, W> const& csr,
+                      partition_t<V> partition)
+      : partition_(std::move(partition)),
+        num_vertices_(csr.num_rows) {
+    int const k = partition_.num_parts;
+    expects(partition_.assignment.size() ==
+                static_cast<std::size_t>(csr.num_rows),
+            "partitioned_graph: assignment size mismatch");
+    fragments_.resize(static_cast<std::size_t>(k));
+
+    // Per-vertex location: owning fragment + local row inside it.
+    local_row_.resize(static_cast<std::size_t>(csr.num_rows));
+    std::vector<V> next_row(static_cast<std::size_t>(k), V{0});
+    for (V v = 0; v < csr.num_rows; ++v) {
+      int const part = partition_.part_of(v);
+      local_row_[static_cast<std::size_t>(v)] =
+          next_row[static_cast<std::size_t>(part)]++;
+    }
+    for (int part = 0; part < k; ++part) {
+      auto& fragment = fragments_[static_cast<std::size_t>(part)];
+      fragment.owned.reserve(
+          static_cast<std::size_t>(next_row[static_cast<std::size_t>(part)]));
+      fragment.csr.num_rows = next_row[static_cast<std::size_t>(part)];
+      fragment.csr.num_cols = csr.num_cols;
+      fragment.csr.row_offsets.assign(
+          static_cast<std::size_t>(fragment.csr.num_rows) + 1, E{0});
+    }
+    for (V v = 0; v < csr.num_rows; ++v)
+      fragments_[static_cast<std::size_t>(partition_.part_of(v))]
+          .owned.push_back(v);
+
+    // Fill each fragment's CSR (rows in owned order, global columns).
+    for (int part = 0; part < k; ++part) {
+      auto& fragment = fragments_[static_cast<std::size_t>(part)];
+      for (std::size_t r = 0; r < fragment.owned.size(); ++r) {
+        V const v = fragment.owned[r];
+        E const deg = csr.row_offsets[static_cast<std::size_t>(v) + 1] -
+                      csr.row_offsets[static_cast<std::size_t>(v)];
+        fragment.csr.row_offsets[r + 1] =
+            fragment.csr.row_offsets[r] + deg;
+      }
+      auto const m =
+          static_cast<std::size_t>(fragment.csr.row_offsets.back());
+      fragment.csr.column_indices.resize(m);
+      fragment.csr.values.resize(m);
+      for (std::size_t r = 0; r < fragment.owned.size(); ++r) {
+        V const v = fragment.owned[r];
+        E dst = fragment.csr.row_offsets[r];
+        for (E e = csr.row_offsets[static_cast<std::size_t>(v)];
+             e < csr.row_offsets[static_cast<std::size_t>(v) + 1]; ++e, ++dst) {
+          fragment.csr.column_indices[static_cast<std::size_t>(dst)] =
+              csr.column_indices[static_cast<std::size_t>(e)];
+          fragment.csr.values[static_cast<std::size_t>(dst)] =
+              csr.values[static_cast<std::size_t>(e)];
+        }
+      }
+    }
+
+    // Global edge-id space: fragment f owns [edge_base_[f], edge_base_[f+1]).
+    edge_base_.assign(static_cast<std::size_t>(k) + 1, E{0});
+    for (int part = 0; part < k; ++part)
+      edge_base_[static_cast<std::size_t>(part) + 1] =
+          edge_base_[static_cast<std::size_t>(part)] +
+          fragments_[static_cast<std::size_t>(part)].csr.num_edges();
+  }
+
+  // --- the same top-level graph API ------------------------------------------
+
+  V get_num_vertices() const { return num_vertices_; }
+  E get_num_edges() const { return edge_base_.back(); }
+  int num_parts() const { return partition_.num_parts; }
+  partition_t<V> const& partition() const { return partition_; }
+
+  E get_out_degree(V v) const {
+    auto const& fragment = fragment_of(v);
+    std::size_t const r =
+        static_cast<std::size_t>(local_row_[static_cast<std::size_t>(v)]);
+    return fragment.csr.row_offsets[r + 1] - fragment.csr.row_offsets[r];
+  }
+
+  graph::id_range<E> get_edges(V v) const {
+    int const part = partition_.part_of(v);
+    auto const& fragment = fragments_[static_cast<std::size_t>(part)];
+    std::size_t const r =
+        static_cast<std::size_t>(local_row_[static_cast<std::size_t>(v)]);
+    E const base = edge_base_[static_cast<std::size_t>(part)];
+    return {static_cast<E>(base + fragment.csr.row_offsets[r]),
+            static_cast<E>(base + fragment.csr.row_offsets[r + 1])};
+  }
+
+  V get_dest_vertex(E e) const {
+    auto const [part, local] = locate(e);
+    return fragments_[part].csr.column_indices[local];
+  }
+
+  W get_edge_weight(E e) const {
+    auto const [part, local] = locate(e);
+    return fragments_[part].csr.values[local];
+  }
+
+  graph::id_range<V> get_vertices() const { return {V{0}, num_vertices_}; }
+
+  /// Vertices owned by one part (for per-part/rank processing loops).
+  std::vector<V> const& owned_vertices(int part) const {
+    return fragments_[static_cast<std::size_t>(part)].owned;
+  }
+
+ private:
+  struct fragment_t {
+    std::vector<V> owned;          ///< global ids, in local-row order
+    graph::csr_t<V, E, W> csr;     ///< rows local, columns global
+  };
+
+  fragment_t const& fragment_of(V v) const {
+    return fragments_[static_cast<std::size_t>(partition_.part_of(v))];
+  }
+
+  /// Map a global edge id to (fragment index, local edge index).
+  std::pair<std::size_t, std::size_t> locate(E e) const {
+    auto const it =
+        std::upper_bound(edge_base_.begin(), edge_base_.end(), e);
+    std::size_t const part =
+        static_cast<std::size_t>(it - edge_base_.begin()) - 1;
+    return {part, static_cast<std::size_t>(e - edge_base_[part])};
+  }
+
+  partition_t<V> partition_;
+  V num_vertices_ = 0;
+  std::vector<fragment_t> fragments_;
+  std::vector<V> local_row_;  ///< local row index of each global vertex
+  std::vector<E> edge_base_;  ///< prefix of fragment edge counts
+};
+
+}  // namespace essentials::partition

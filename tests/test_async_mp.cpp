@@ -1,0 +1,117 @@
+// Tests for the asynchronous message-passing SSSP (Safra termination
+// detection) — the joint "asynchronous ∧ message passing" Table I cell.
+#include <gtest/gtest.h>
+
+#include "algorithms/sssp_async_mp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::graph_csr make(std::string const& family, std::uint64_t seed) {
+  e::generators::weight_options w{0.5f, 4.0f};
+  g::coo_t<> coo;
+  if (family == "rmat") {
+    e::generators::rmat_options opt;
+    opt.scale = 9;
+    opt.edge_factor = 8;
+    opt.seed = seed;
+    opt.weights = w;
+    coo = e::generators::rmat(opt);
+  } else if (family == "grid") {
+    coo = e::generators::grid_2d(14, 15, w, seed);
+  } else if (family == "chain") {
+    coo = e::generators::chain(200, w, seed);
+  } else {
+    coo = e::generators::erdos_renyi(300, 2400, w, seed);
+  }
+  g::remove_self_loops(coo);
+  return g::from_coo<g::graph_csr>(std::move(coo),
+                                   g::duplicate_policy::keep_min);
+}
+
+void expect_matches_dijkstra(g::graph_csr const& gr, vertex_t source,
+                             int ranks, std::string const& label) {
+  auto const want = e::algorithms::dijkstra(gr, source).distances;
+  auto const got =
+      e::algorithms::sssp_async_message_passing(gr, source, ranks).distances;
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    if (want[v] == e::infinity_v<float>)
+      EXPECT_EQ(got[v], want[v]) << label << " v" << v;
+    else
+      EXPECT_NEAR(got[v], want[v], 1e-3f) << label << " v" << v;
+  }
+}
+
+}  // namespace
+
+TEST(AsyncMpSssp, MatchesDijkstraAcrossFamilies) {
+  for (auto const family : {"rmat", "grid", "chain", "er"})
+    expect_matches_dijkstra(make(family, 3), 0, 3, family);
+}
+
+TEST(AsyncMpSssp, VariousRankCounts) {
+  auto const gr = make("er", 11);
+  for (int ranks : {1, 2, 4, 6})
+    expect_matches_dijkstra(gr, 0, ranks, "ranks=" + std::to_string(ranks));
+}
+
+TEST(AsyncMpSssp, TerminatesWhenSourceIsIsolated) {
+  // The hardest termination case: no work at all beyond the seed.  Safra
+  // must still conclude quiescence promptly on every rank count.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 8;
+  coo.push_back(3, 4, 1.f);  // source 0 is isolated
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  for (int ranks : {1, 2, 5}) {
+    auto const got =
+        e::algorithms::sssp_async_message_passing(gr, 0, ranks).distances;
+    EXPECT_FLOAT_EQ(got[0], 0.0f);
+    for (std::size_t v = 1; v < 8; ++v)
+      EXPECT_EQ(got[v], e::infinity_v<float>) << v;
+  }
+}
+
+TEST(AsyncMpSssp, HighReRelaxationPressure) {
+  // Descending weights along many paths force repeated improvements —
+  // exactly the in-flight-message pattern Safra's counting must survive.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 40;
+  for (vertex_t u = 0; u < 39; ++u)
+    for (vertex_t v = u + 1; v < std::min<vertex_t>(u + 5, 40); ++v)
+      coo.push_back(u, v, static_cast<float>(40 - u));
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  expect_matches_dijkstra(gr, 0, 4, "re-relaxation");
+}
+
+TEST(AsyncMpSssp, RepeatedRunsAreStable) {
+  // Nondeterministic interleavings, deterministic fixed point.
+  auto const gr = make("rmat", 7);
+  auto const first =
+      e::algorithms::sssp_async_message_passing(gr, 0, 4).distances;
+  for (int run = 0; run < 3; ++run) {
+    auto const again =
+        e::algorithms::sssp_async_message_passing(gr, 0, 4).distances;
+    for (std::size_t v = 0; v < first.size(); ++v) {
+      if (first[v] == e::infinity_v<float>)
+        EXPECT_EQ(again[v], first[v]) << v;
+      else
+        EXPECT_NEAR(again[v], first[v], 1e-3f) << v;
+    }
+  }
+}
+
+TEST(AsyncMpSssp, PartitionDerivedOwnership) {
+  auto const gr = make("grid", 5);
+  auto const p = e::partition::partition_bfs_grow(gr.csr(), 3, 2);
+  auto const want = e::algorithms::dijkstra(gr, 0).distances;
+  auto const got = e::algorithms::sssp_async_message_passing(
+                       gr, 0, 3, [&p](vertex_t v) { return p.part_of(v); })
+                       .distances;
+  for (std::size_t v = 0; v < want.size(); ++v)
+    EXPECT_NEAR(got[v], want[v], 1e-3f) << v;
+}

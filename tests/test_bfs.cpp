@@ -1,0 +1,150 @@
+// BFS property suite: push, pull, direction-optimizing, async and
+// message-passing variants against the serial oracle; parent-tree validity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "algorithms/bfs.hpp"
+#include "core/execution.hpp"
+#include "generators/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace alg = essentials::algorithms;
+namespace ex = essentials::execution;
+namespace g = essentials::graph;
+namespace gen = essentials::generators;
+using essentials::vertex_t;
+
+namespace {
+
+g::graph_push_pull make_graph(std::string const& family, std::uint64_t seed) {
+  g::coo_t<> coo;
+  if (family == "rmat") {
+    gen::rmat_options opt;
+    opt.scale = 8;
+    opt.edge_factor = 8;
+    opt.seed = seed;
+    coo = gen::rmat(opt);
+  } else if (family == "er") {
+    coo = gen::erdos_renyi(500, 4000, {}, seed);
+  } else if (family == "grid") {
+    coo = gen::grid_2d(20, 20, {}, seed);
+  } else {
+    coo = gen::star(300, {}, seed);
+  }
+  g::remove_self_loops(coo);
+  return g::from_coo<g::graph_push_pull>(std::move(coo));
+}
+
+/// A parent tree is valid iff every reached non-source vertex has a reached
+/// parent exactly one level shallower, connected by a real edge.
+template <typename G>
+void expect_valid_parents(G const& graph, alg::bfs_result<> const& r,
+                          vertex_t source) {
+  for (vertex_t v = 0; v < graph.get_num_vertices(); ++v) {
+    if (v == source || r.depths[static_cast<std::size_t>(v)] == -1)
+      continue;
+    vertex_t const p = r.parents[static_cast<std::size_t>(v)];
+    ASSERT_NE(p, -1) << "reached vertex " << v << " has no parent";
+    EXPECT_EQ(r.depths[static_cast<std::size_t>(p)] + 1,
+              r.depths[static_cast<std::size_t>(v)]);
+    bool edge_exists = false;
+    for (auto const e : graph.get_edges(p))
+      edge_exists |= (graph.get_dest_vertex(e) == v);
+    EXPECT_TRUE(edge_exists) << "no edge " << p << " -> " << v;
+  }
+}
+
+}  // namespace
+
+using BfsParam = std::tuple<std::string, std::uint64_t>;
+class BfsAllVariants : public ::testing::TestWithParam<BfsParam> {};
+
+TEST_P(BfsAllVariants, EveryVariantMatchesSerialDepths) {
+  auto const& [family, seed] = GetParam();
+  auto const graph = make_graph(family, seed);
+  vertex_t const source = 0;
+  auto const oracle = alg::bfs_serial(graph, source);
+
+  auto const push_seq = alg::bfs(ex::seq, graph, source);
+  auto const push_par = alg::bfs(ex::par, graph, source);
+  auto const pull = alg::bfs_pull(ex::par, graph, source);
+  auto const dobfs = alg::bfs_direction_optimizing(ex::par, graph, source);
+  auto const async = alg::bfs_async(graph, source, 4);
+
+  EXPECT_EQ(push_seq.depths, oracle.depths) << family << "/push-seq";
+  EXPECT_EQ(push_par.depths, oracle.depths) << family << "/push-par";
+  EXPECT_EQ(pull.depths, oracle.depths) << family << "/pull";
+  EXPECT_EQ(dobfs.depths, oracle.depths) << family << "/direction-optimizing";
+  EXPECT_EQ(async.depths, oracle.depths) << family << "/async";
+
+  expect_valid_parents(graph, push_par, source);
+  expect_valid_parents(graph, pull, source);
+  expect_valid_parents(graph, dobfs, source);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BfsAllVariants,
+    ::testing::Combine(::testing::Values("rmat", "er", "grid", "star"),
+                       ::testing::Values(1u, 13u)),
+    [](auto const& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Bfs, MessagePassingMatchesSerial) {
+  for (auto const family : {"er", "grid"}) {
+    auto const graph = make_graph(family, 3);
+    auto const oracle = alg::bfs_serial(graph, 0);
+    for (int ranks : {1, 2, 4}) {
+      auto const mp = alg::bfs_message_passing(graph, 0, ranks);
+      EXPECT_EQ(mp.depths, oracle.depths)
+          << family << " ranks=" << ranks;
+    }
+  }
+}
+
+TEST(Bfs, DisconnectedComponentUnreached) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 5;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(3, 4, 1.f);
+  auto const graph = g::from_coo<g::graph_push_pull>(std::move(coo));
+  auto const r = alg::bfs(ex::par, graph, 0);
+  EXPECT_EQ(r.depths[2], 2);
+  EXPECT_EQ(r.depths[3], -1);
+  EXPECT_EQ(r.depths[4], -1);
+}
+
+TEST(Bfs, IterationCountEqualsEccentricity) {
+  auto coo = gen::chain(64);
+  auto const graph = g::from_coo<g::graph_push_pull>(std::move(coo));
+  auto const r = alg::bfs(ex::par, graph, 0);
+  EXPECT_EQ(r.depths[63], 63);
+  EXPECT_EQ(r.iterations, 64u);  // 63 productive + 1 draining superstep
+}
+
+TEST(Bfs, DirectionOptimizingSwitchesOnDenseGraph) {
+  // A complete-ish graph saturates in one hop; DOBFS must still be exact.
+  auto coo = gen::complete(100);
+  auto const graph = g::from_coo<g::graph_push_pull>(std::move(coo));
+  auto const oracle = alg::bfs_serial(graph, 0);
+  auto const dobfs = alg::bfs_direction_optimizing(ex::par, graph, 0);
+  EXPECT_EQ(dobfs.depths, oracle.depths);
+}
+
+TEST(Bfs, SelfSourceDepthZero) {
+  auto const graph = make_graph("er", 9);
+  auto const r = alg::bfs(ex::par, graph, 42);
+  EXPECT_EQ(r.depths[42], 0);
+  EXPECT_EQ(r.parents[42], -1);
+}
+
+TEST(Bfs, InvalidSourceThrows) {
+  auto const graph = make_graph("grid", 1);
+  EXPECT_THROW(alg::bfs(ex::par, graph, -1), essentials::graph_error);
+  EXPECT_THROW(alg::bfs_pull(ex::par, graph, 100000),
+               essentials::graph_error);
+}

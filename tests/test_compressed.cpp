@@ -1,0 +1,124 @@
+// Tests for the varint-delta compressed CSR representation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/compressed.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::csr_t<> canonical(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  g::sort_and_deduplicate(coo, g::duplicate_policy::keep_min);
+  return g::build_csr(coo);
+}
+
+}  // namespace
+
+TEST(Varint, EncodeDecodeRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint64_t> const values{0, 1, 127, 128, 300, 1u << 20,
+                                          ~std::uint64_t{0} >> 1};
+  for (auto const v : values)
+    g::varint::encode(buf, v);
+  std::size_t pos = 0;
+  for (auto const v : values)
+    EXPECT_EQ(g::varint::decode(buf.data(), pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, ZigZagRoundTrip) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 63LL, -64LL, 1LL << 40, -(1LL << 40)})
+    EXPECT_EQ(g::varint::unzigzag(g::varint::zigzag(v)), v);
+  // Small magnitudes stay small (1 byte after zig-zag).
+  EXPECT_LT(g::varint::zigzag(-3), 16u);
+}
+
+TEST(CompressedGraph, NeighborsMatchCsrExactly) {
+  auto const csr = canonical(e::generators::erdos_renyi(300, 3000,
+                                                        {0.5f, 2.0f}, 4));
+  g::compressed_graph<> cg(csr);
+  EXPECT_EQ(cg.get_num_vertices(), csr.num_rows);
+  EXPECT_EQ(cg.get_num_edges(), csr.num_edges());
+  for (vertex_t v = 0; v < csr.num_rows; ++v) {
+    std::vector<std::pair<vertex_t, float>> want, got;
+    for (e::edge_t ed = csr.row_offsets[static_cast<std::size_t>(v)];
+         ed < csr.row_offsets[static_cast<std::size_t>(v) + 1]; ++ed)
+      want.emplace_back(csr.column_indices[static_cast<std::size_t>(ed)],
+                        csr.values[static_cast<std::size_t>(ed)]);
+    cg.for_each_neighbor(
+        v, [&got](vertex_t nb, float w) { got.emplace_back(nb, w); });
+    EXPECT_EQ(got, want) << "vertex " << v;
+    EXPECT_EQ(cg.get_out_degree(v),
+              static_cast<e::edge_t>(want.size()));
+  }
+}
+
+TEST(CompressedGraph, CompressesLocalGraphsWell) {
+  // Mesh adjacency deltas are tiny: expect > 2x over 4-byte ids.
+  auto coo = e::generators::grid_2d(64, 64);
+  auto const csr = canonical(std::move(coo));
+  g::compressed_graph<> cg(csr);
+  EXPECT_GT(cg.compression_ratio(), 2.0);
+  EXPECT_LT(cg.adjacency_bytes(), cg.uncompressed_adjacency_bytes());
+}
+
+TEST(CompressedGraph, HandlesSkewAndEmptyRows) {
+  auto const csr = canonical(e::generators::star(1000));
+  g::compressed_graph<> cg(csr);
+  // Hub decode covers all 999 spokes.
+  int count = 0;
+  cg.for_each_neighbor(0, [&count](vertex_t, float) { ++count; });
+  EXPECT_EQ(count, 999);
+  // A spoke has exactly the hub.
+  cg.for_each_neighbor(5, [](vertex_t nb, float) { EXPECT_EQ(nb, 0); });
+
+  g::coo_t<> lonely;
+  lonely.num_rows = lonely.num_cols = 3;
+  g::compressed_graph<> empty(canonical(std::move(lonely)));
+  empty.for_each_neighbor(1, [](vertex_t, float) { FAIL(); });
+}
+
+TEST(CompressedGraph, SsspOnCompressedMatchesDijkstra) {
+  auto const csr = canonical(e::generators::erdos_renyi(400, 3200,
+                                                        {0.5f, 4.0f}, 7));
+  g::compressed_graph<> cg(csr);
+  g::graph_csr flat;
+  flat.set_csr(csr);
+  auto const want = e::algorithms::dijkstra(flat, 0).distances;
+  auto const got = e::algorithms::sssp_compressed(cg, vertex_t{0});
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    if (want[v] == e::infinity_v<float>)
+      EXPECT_EQ(got[v], want[v]) << v;
+    else
+      EXPECT_NEAR(got[v], want[v], 1e-3f) << v;
+  }
+}
+
+TEST(CompressedGraph, ReorderingImprovesCompression) {
+  // BFS relabeling shrinks deltas on a scrambled mesh -> better ratio.
+  auto coo = e::generators::grid_2d(40, 40);
+  g::sort_and_deduplicate(coo);
+  auto const csr = g::build_csr(coo);
+  std::size_t const n = static_cast<std::size_t>(csr.num_rows);
+  g::permutation_t<vertex_t> scrambled(n);
+  for (std::size_t v = 0; v < n; ++v)
+    scrambled[v] = static_cast<vertex_t>((v * 421) % n);
+  auto scoo = g::apply_permutation(coo, scrambled);
+  g::sort_and_deduplicate(scoo);
+  auto const scrambled_csr = g::build_csr(scoo);
+
+  auto const perm = g::order_by_bfs(scrambled_csr, 0);
+  auto rcoo = g::apply_permutation(scoo, perm);
+  g::sort_and_deduplicate(rcoo);
+  auto const reordered_csr = g::build_csr(rcoo);
+
+  g::compressed_graph<> bad(scrambled_csr), good(reordered_csr);
+  EXPECT_GT(good.compression_ratio(), bad.compression_ratio());
+}

@@ -1,0 +1,246 @@
+// Tests for the directed-graph algorithm additions: strongly connected
+// components (FW-BW vs Tarjan), topological sort, maximal matching and
+// diameter estimation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/diameter.hpp"
+#include "algorithms/matching.hpp"
+#include "algorithms/scc.hpp"
+#include "algorithms/topological_sort.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::graph_push_pull directed(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  return g::from_coo<g::graph_push_pull>(std::move(coo));
+}
+
+g::graph_full undirected(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  g::symmetrize(coo);
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+/// Compare two SCC labelings as partitions (labels may differ).
+template <typename V>
+void expect_same_partition(std::vector<V> const& a, std::vector<V> const& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u)
+    for (std::size_t v = u + 1; v < a.size(); ++v)
+      EXPECT_EQ(a[u] == a[v], b[u] == b[v]) << u << "," << v;
+}
+
+}  // namespace
+
+// --- SCC ----------------------------------------------------------------------
+
+TEST(Scc, TwoCyclesAndABridge) {
+  // Cycle {0,1,2}, cycle {3,4}, bridge 2->3, hermit 5.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 6;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(2, 0, 1.f);
+  coo.push_back(3, 4, 1.f);
+  coo.push_back(4, 3, 1.f);
+  coo.push_back(2, 3, 1.f);
+  auto const gr = directed(std::move(coo));
+  auto const fwbw =
+      e::algorithms::strongly_connected_components(e::execution::par, gr);
+  auto const tarjan =
+      e::algorithms::strongly_connected_components_serial(gr);
+  EXPECT_EQ(fwbw.num_components, 3u);
+  EXPECT_EQ(tarjan.num_components, 3u);
+  expect_same_partition(fwbw.component, tarjan.component);
+}
+
+TEST(Scc, DagHasOnlySingletons) {
+  auto const gr = directed(e::generators::chain(20));
+  auto const r =
+      e::algorithms::strongly_connected_components(e::execution::par, gr);
+  EXPECT_EQ(r.num_components, 20u);
+}
+
+TEST(Scc, FullCycleIsOneComponent) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 12;
+  for (vertex_t v = 0; v < 12; ++v)
+    coo.push_back(v, (v + 1) % 12, 1.f);
+  auto const gr = directed(std::move(coo));
+  auto const r =
+      e::algorithms::strongly_connected_components(e::execution::par, gr);
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Scc, FwBwMatchesTarjanOnRandomDigraphs) {
+  for (std::uint64_t seed : {1u, 4u, 9u}) {
+    auto const gr = directed(e::generators::erdos_renyi(120, 360, {}, seed));
+    auto const fwbw =
+        e::algorithms::strongly_connected_components(e::execution::par, gr);
+    auto const tarjan =
+        e::algorithms::strongly_connected_components_serial(gr);
+    EXPECT_EQ(fwbw.num_components, tarjan.num_components) << "seed " << seed;
+    expect_same_partition(fwbw.component, tarjan.component);
+  }
+}
+
+TEST(Scc, EveryVertexGetsALabel) {
+  auto const gr = directed(e::generators::erdos_renyi(200, 800, {}, 7));
+  auto const r =
+      e::algorithms::strongly_connected_components(e::execution::par, gr);
+  std::set<vertex_t> labels;
+  for (auto const c : r.component) {
+    EXPECT_NE(c, e::invalid_vertex<vertex_t>);
+    labels.insert(c);
+  }
+  EXPECT_EQ(labels.size(), r.num_components);
+}
+
+// --- topological sort -------------------------------------------------------------
+
+TEST(TopoSort, ChainOrdersLinearly) {
+  auto const gr = directed(e::generators::chain(30));
+  auto const r = e::algorithms::topological_sort(e::execution::par, gr);
+  ASSERT_TRUE(r.is_dag);
+  EXPECT_TRUE(e::algorithms::is_valid_topological_order(gr, r.order));
+  EXPECT_EQ(r.levels, 30u);
+}
+
+TEST(TopoSort, DiamondDagParallelLayers) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(0, 2, 1.f);
+  coo.push_back(1, 3, 1.f);
+  coo.push_back(2, 3, 1.f);
+  auto const gr = directed(std::move(coo));
+  auto const r = e::algorithms::topological_sort(e::execution::par, gr);
+  ASSERT_TRUE(r.is_dag);
+  EXPECT_TRUE(e::algorithms::is_valid_topological_order(gr, r.order));
+  EXPECT_EQ(r.levels, 3u);  // {0}, {1,2}, {3}
+}
+
+TEST(TopoSort, DetectsCycle) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(2, 0, 1.f);
+  auto const gr = directed(std::move(coo));
+  auto const r = e::algorithms::topological_sort(e::execution::par, gr);
+  EXPECT_FALSE(r.is_dag);
+  EXPECT_TRUE(r.order.empty());
+}
+
+TEST(TopoSort, RandomDagsValidate) {
+  // Random DAG: ER edges oriented low -> high are acyclic by construction.
+  for (std::uint64_t seed : {2u, 6u}) {
+    auto coo = e::generators::erdos_renyi(200, 1200, {}, seed);
+    for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
+      if (coo.row_indices[i] > coo.column_indices[i])
+        std::swap(coo.row_indices[i], coo.column_indices[i]);
+    auto const gr = directed(std::move(coo));
+    auto const r = e::algorithms::topological_sort(e::execution::par, gr);
+    ASSERT_TRUE(r.is_dag) << "seed " << seed;
+    EXPECT_TRUE(e::algorithms::is_valid_topological_order(gr, r.order));
+  }
+}
+
+TEST(TopoSort, ValidatorRejectsBadOrders) {
+  auto const gr = directed(e::generators::chain(5));
+  EXPECT_FALSE(e::algorithms::is_valid_topological_order(
+      gr, std::vector<vertex_t>{4, 3, 2, 1, 0}));  // reversed
+  EXPECT_FALSE(e::algorithms::is_valid_topological_order(
+      gr, std::vector<vertex_t>{0, 1, 2, 3}));  // wrong size
+  EXPECT_FALSE(e::algorithms::is_valid_topological_order(
+      gr, std::vector<vertex_t>{0, 0, 2, 3, 4}));  // duplicate
+}
+
+// --- maximal matching --------------------------------------------------------------
+
+TEST(Matching, HandshakeIsValidMaximalMatching) {
+  for (std::uint64_t seed : {1u, 3u, 8u}) {
+    auto const gr = undirected(e::generators::erdos_renyi(300, 1800, {}, seed));
+    auto const r = e::algorithms::maximal_matching(e::execution::par, gr, seed);
+    EXPECT_TRUE(e::algorithms::is_valid_maximal_matching(gr, r.mate))
+        << "seed " << seed;
+  }
+}
+
+TEST(Matching, SerialGreedyIsValid) {
+  auto const gr = undirected(e::generators::watts_strogatz(200, 3, 0.1, {}, 2));
+  auto const r = e::algorithms::maximal_matching_serial(gr);
+  EXPECT_TRUE(e::algorithms::is_valid_maximal_matching(gr, r.mate));
+}
+
+TEST(Matching, PerfectMatchingOnEvenCycle) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 10;
+  for (vertex_t v = 0; v < 10; ++v)
+    coo.push_back(v, (v + 1) % 10, 1.f);
+  auto const gr = undirected(std::move(coo));
+  auto const r = e::algorithms::maximal_matching(e::execution::par, gr);
+  EXPECT_TRUE(e::algorithms::is_valid_maximal_matching(gr, r.mate));
+  EXPECT_GE(r.num_matched_edges, 4u);  // maximal on C10 is 4 or 5 edges
+  EXPECT_LE(r.num_matched_edges, 5u);
+}
+
+TEST(Matching, StarMatchesExactlyOneEdge) {
+  auto const gr = undirected(e::generators::star(20));
+  auto const r = e::algorithms::maximal_matching(e::execution::par, gr);
+  EXPECT_EQ(r.num_matched_edges, 1u);  // hub can match only once
+  EXPECT_TRUE(e::algorithms::is_valid_maximal_matching(gr, r.mate));
+}
+
+TEST(Matching, MatchedCountsAgreeWithMateArray) {
+  auto const gr = undirected(e::generators::erdos_renyi(150, 900, {}, 5));
+  auto const r = e::algorithms::maximal_matching(e::execution::par, gr);
+  std::size_t mated = 0;
+  for (auto const m : r.mate)
+    mated += (m != e::invalid_vertex<vertex_t>);
+  EXPECT_EQ(mated, 2 * r.num_matched_edges);
+}
+
+// --- diameter ------------------------------------------------------------------------
+
+TEST(Diameter, ExactOnPathAndGrid) {
+  auto const path = undirected(e::generators::chain(17));
+  EXPECT_EQ(e::algorithms::diameter_exact(e::execution::par, path).diameter,
+            16);
+  auto const grid = undirected(e::generators::grid_2d(5, 7));
+  EXPECT_EQ(e::algorithms::diameter_exact(e::execution::par, grid).diameter,
+            4 + 6);
+}
+
+TEST(Diameter, DoubleSweepIsTightOnTreesAndMeshes) {
+  auto const path = undirected(e::generators::chain(40));
+  auto const est = e::algorithms::diameter_double_sweep(e::execution::par,
+                                                        path, 20);
+  EXPECT_EQ(est.diameter, 39);  // exact on trees regardless of start
+
+  auto const grid = undirected(e::generators::grid_2d(9, 9));
+  auto const grid_exact =
+      e::algorithms::diameter_exact(e::execution::par, grid);
+  auto const grid_est =
+      e::algorithms::diameter_double_sweep(e::execution::par, grid, 40);
+  EXPECT_LE(grid_est.diameter, grid_exact.diameter);
+  EXPECT_GE(grid_est.diameter, grid_exact.diameter - 2);
+}
+
+TEST(Diameter, LowerBoundNeverExceedsExact) {
+  for (std::uint64_t seed : {1u, 7u}) {
+    auto const gr = undirected(e::generators::erdos_renyi(150, 600, {}, seed));
+    auto const exact = e::algorithms::diameter_exact(e::execution::par, gr);
+    auto const est =
+        e::algorithms::diameter_double_sweep(e::execution::par, gr, 0, 6);
+    EXPECT_LE(est.diameter, exact.diameter) << "seed " << seed;
+    EXPECT_GE(est.sweeps, 1u);
+  }
+}

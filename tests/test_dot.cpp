@@ -1,0 +1,82 @@
+// Tests for the Graphviz DOT exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+TEST(Dot, DirectedWithWeights) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.push_back(0, 1, 2.5f);
+  coo.push_back(1, 2, 1.0f);
+  std::ostringstream out;
+  e::io::write_dot(out, coo);
+  auto const s = out.str();
+  EXPECT_NE(s.find("digraph"), std::string::npos);
+  EXPECT_NE(s.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(s.find("label=\"2.5\""), std::string::npos);
+}
+
+TEST(Dot, UndirectedEmitsEachPairOnce) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 2;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 0, 1.f);
+  std::ostringstream out;
+  e::io::dot_options opt;
+  opt.undirected = true;
+  opt.weight_labels = false;
+  e::io::write_dot(out, coo, opt);
+  auto const s = out.str();
+  EXPECT_NE(s.find("graph"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1"), std::string::npos);
+  EXPECT_EQ(s.find("1 -- 0"), std::string::npos);
+  EXPECT_EQ(s.find("label"), std::string::npos);
+}
+
+TEST(Dot, GroupsColorVertices) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  std::ostringstream out;
+  e::io::dot_options opt;
+  opt.groups = {0, 0, 1, 1};
+  e::io::write_dot(out, coo, opt);
+  auto const s = out.str();
+  EXPECT_NE(s.find("fillcolor=\"#8dd3c7\""), std::string::npos);
+  EXPECT_NE(s.find("fillcolor=\"#ffffb3\""), std::string::npos);
+}
+
+TEST(Dot, RefusesOversizeAndBadGroups) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 10;
+  e::io::dot_options tiny;
+  tiny.max_vertices = 5;
+  std::ostringstream out;
+  EXPECT_THROW(e::io::write_dot(out, coo, tiny), e::graph_error);
+
+  e::io::dot_options bad_groups;
+  bad_groups.groups = {1, 2};  // wrong size
+  EXPECT_THROW(e::io::write_dot(out, coo, bad_groups), e::graph_error);
+}
+
+TEST(Dot, PipelineWithCommunityColors) {
+  // The intended use: color a graph drawing by detected community.
+  auto coo = e::generators::watts_strogatz(40, 2, 0.05, {}, 3);
+  e::graph::remove_self_loops(coo);
+  e::graph::symmetrize(coo);
+  auto const gr = g::from_coo<g::graph_full>(coo);
+  auto const communities =
+      e::algorithms::label_propagation_communities(e::execution::par, gr);
+  e::io::dot_options opt;
+  opt.undirected = true;
+  opt.groups.assign(communities.labels.begin(), communities.labels.end());
+  std::ostringstream out;
+  e::io::write_dot(out, coo, opt);
+  EXPECT_GT(out.str().size(), 100u);
+}

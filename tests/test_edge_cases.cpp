@@ -1,0 +1,188 @@
+// Degenerate-input robustness: empty graphs, single vertices, isolated
+// vertices, self-loops, and duplicate-heavy inputs, swept across the whole
+// algorithm suite.  Every algorithm must return a sensible answer (never
+// crash, hang, or read out of bounds) on inputs real pipelines produce at
+// their boundaries.
+#include <gtest/gtest.h>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::graph_full empty_graph() {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 0;
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+g::graph_full single_vertex() {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 1;
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+g::graph_full isolated_vertices(vertex_t n) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = n;
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+g::graph_full self_loops_only() {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  for (vertex_t v = 0; v < 4; ++v)
+    coo.push_back(v, v, 1.f);
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+}  // namespace
+
+TEST(EdgeCases, EmptyGraphAcrossSuite) {
+  auto const gr = empty_graph();
+  EXPECT_EQ(gr.get_num_vertices(), 0);
+  EXPECT_EQ(e::algorithms::pagerank(e::execution::par, gr).ranks.size(), 0u);
+  EXPECT_EQ(
+      e::algorithms::connected_components(e::execution::par, gr).num_components,
+      0u);
+  EXPECT_EQ(e::algorithms::triangle_count(e::execution::par, gr), 0u);
+  EXPECT_EQ(e::algorithms::kcore(e::execution::par, gr).max_core, 0);
+  EXPECT_EQ(e::algorithms::boruvka_mst(e::execution::par, gr).edges.size(),
+            0u);
+  EXPECT_EQ(e::algorithms::maximal_independent_set(e::execution::par, gr)
+                .set_size,
+            0u);
+  EXPECT_EQ(e::algorithms::label_propagation_communities(e::execution::par,
+                                                         gr)
+                .num_communities,
+            0u);
+  EXPECT_TRUE(
+      e::algorithms::topological_sort(e::execution::par, gr).is_dag);
+  EXPECT_EQ(e::algorithms::strongly_connected_components(e::execution::par,
+                                                         gr)
+                .num_components,
+            0u);
+  EXPECT_EQ(e::algorithms::diameter_exact(e::execution::par, gr).diameter, 0);
+}
+
+TEST(EdgeCases, SourcedAlgorithmsRejectEmptyGraph) {
+  auto const gr = empty_graph();
+  EXPECT_THROW(e::algorithms::sssp(e::execution::par, gr, 0), e::graph_error);
+  EXPECT_THROW(e::algorithms::bfs(e::execution::par, gr, 0), e::graph_error);
+  EXPECT_THROW(e::algorithms::dijkstra(gr, 0), e::graph_error);
+  EXPECT_THROW(e::algorithms::personalized_pagerank(gr, 0), e::graph_error);
+}
+
+TEST(EdgeCases, SingleVertexAcrossSuite) {
+  auto const gr = single_vertex();
+  auto const sssp = e::algorithms::sssp(e::execution::par, gr, 0);
+  EXPECT_FLOAT_EQ(sssp.distances[0], 0.0f);
+  auto const bfs = e::algorithms::bfs(e::execution::par, gr, 0);
+  EXPECT_EQ(bfs.depths[0], 0);
+  auto const pr = e::algorithms::pagerank(e::execution::par, gr);
+  EXPECT_NEAR(pr.ranks[0], 1.0, 1e-9);
+  EXPECT_EQ(e::algorithms::connected_components(e::execution::par, gr)
+                .num_components,
+            1u);
+  EXPECT_EQ(e::algorithms::maximal_independent_set(e::execution::par, gr)
+                .set_size,
+            1u);
+  auto const topo = e::algorithms::topological_sort(e::execution::par, gr);
+  EXPECT_TRUE(topo.is_dag);
+  EXPECT_EQ(topo.order, (std::vector<vertex_t>{0}));
+  auto const color = e::algorithms::color_jones_plassmann(e::execution::par,
+                                                          gr);
+  EXPECT_EQ(color.num_colors, 1);
+}
+
+TEST(EdgeCases, IsolatedVerticesAcrossSuite) {
+  auto const gr = isolated_vertices(10);
+  auto const cc = e::algorithms::connected_components(e::execution::par, gr);
+  EXPECT_EQ(cc.num_components, 10u);
+  auto const sssp = e::algorithms::sssp(e::execution::par, gr, 3);
+  for (vertex_t v = 0; v < 10; ++v) {
+    if (v == 3)
+      EXPECT_FLOAT_EQ(sssp.distances[static_cast<std::size_t>(v)], 0.0f);
+    else
+      EXPECT_EQ(sssp.distances[static_cast<std::size_t>(v)],
+                e::infinity_v<float>);
+  }
+  auto const mis = e::algorithms::maximal_independent_set(e::execution::par,
+                                                          gr);
+  EXPECT_EQ(mis.set_size, 10u);  // no edges: everyone joins
+  auto const mst = e::algorithms::boruvka_mst(e::execution::par, gr);
+  EXPECT_EQ(mst.num_trees, 10u);
+  EXPECT_TRUE(mst.edges.empty());
+  auto const match = e::algorithms::maximal_matching(e::execution::par, gr);
+  EXPECT_EQ(match.num_matched_edges, 0u);
+}
+
+TEST(EdgeCases, SelfLoopsDoNotBreakTraversals) {
+  auto const gr = self_loops_only();
+  auto const bfs = e::algorithms::bfs(e::execution::par, gr, 0);
+  EXPECT_EQ(bfs.depths[0], 0);
+  EXPECT_EQ(bfs.depths[1], -1);
+  auto const sssp = e::algorithms::sssp(e::execution::par, gr, 0);
+  EXPECT_FLOAT_EQ(sssp.distances[0], 0.0f);
+  // A self-loop is a cycle: not a DAG.
+  EXPECT_FALSE(
+      e::algorithms::topological_sort(e::execution::par, gr).is_dag);
+  // Every vertex is its own SCC even with self loops.
+  EXPECT_EQ(e::algorithms::strongly_connected_components(e::execution::par,
+                                                         gr)
+                .num_components,
+            4u);
+}
+
+TEST(EdgeCases, DuplicateHeavyInputCollapsesCleanly) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 3;
+  for (int i = 0; i < 100; ++i) {
+    coo.push_back(0, 1, static_cast<float>(100 - i));
+    coo.push_back(1, 2, 2.f);
+  }
+  auto const gr = g::from_coo<g::graph_full>(std::move(coo),
+                                             g::duplicate_policy::keep_min);
+  EXPECT_EQ(gr.get_num_edges(), 2);
+  auto const sssp = e::algorithms::sssp(e::execution::par, gr, 0);
+  EXPECT_FLOAT_EQ(sssp.distances[1], 1.0f);  // min of the duplicates
+  EXPECT_FLOAT_EQ(sssp.distances[2], 3.0f);
+}
+
+TEST(EdgeCases, OperatorsOnEmptyFrontiers) {
+  auto const gr = isolated_vertices(5);
+  e::frontier::sparse_frontier<vertex_t> empty;
+  auto const out = e::operators::neighbors_expand(
+      e::execution::par, gr, empty,
+      [](vertex_t, vertex_t, e::edge_t, e::weight_t) { return true; });
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(e::operators::filter(e::execution::par, empty,
+                                   [](vertex_t) { return true; })
+                  .empty());
+  auto const sum = e::operators::reduce(
+      e::execution::par, empty, 0,
+      [](vertex_t v) { return static_cast<int>(v); },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(EdgeCases, GeneratorMinimumSizes) {
+  EXPECT_EQ(e::generators::chain(1).num_edges(), 0);
+  EXPECT_EQ(e::generators::star(2).num_edges(), 2);
+  EXPECT_EQ(e::generators::complete(1).num_edges(), 0);
+  EXPECT_EQ(e::generators::grid_2d(1, 1).num_edges(), 0);
+  EXPECT_THROW(e::generators::chain(0), e::graph_error);
+  EXPECT_THROW(e::generators::star(1), e::graph_error);
+}
+
+TEST(EdgeCases, PartitionMoreTargetsThanVertices) {
+  auto const p = e::partition::partition_random<vertex_t>(3, 10, 1);
+  EXPECT_EQ(p.assignment.size(), 3u);
+  EXPECT_LE(e::partition::vertex_balance(p), 10.0);
+  auto const b = e::partition::partition_block<vertex_t>(3, 10);
+  for (int const part : b.assignment)
+    EXPECT_LT(part, 10);
+}

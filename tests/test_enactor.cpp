@@ -1,0 +1,120 @@
+// Tests for the loop structure and convergence conditions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/enactor.hpp"
+#include "core/frontier/frontier.hpp"
+
+namespace en = essentials::enactor;
+namespace fr = essentials::frontier;
+using essentials::vertex_t;
+
+TEST(BspLoop, RunsUntilFrontierEmpty) {
+  // Step halves the frontier each superstep: 8 -> 4 -> 2 -> 1 -> 0.
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(8, 0));
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        return fr::sparse_frontier<vertex_t>(
+            std::vector<vertex_t>(in.size() / 2, 0));
+      },
+      en::frontier_empty{});
+  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_EQ(stats.total_processed, 8u + 4 + 2 + 1);
+}
+
+TEST(BspLoop, ConvergedInitialFrontierRunsZeroSteps) {
+  fr::sparse_frontier<vertex_t> f;
+  bool stepped = false;
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [&stepped](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        stepped = true;
+        return in;
+      });
+  EXPECT_FALSE(stepped);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(BspLoop, MaxIterationsCapsRunawayLoop) {
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) { return in; },
+      en::max_iterations{7});
+  EXPECT_EQ(stats.iterations, 7u);
+}
+
+TEST(BspLoop, EitherComposesConditions) {
+  // Frontier never empties; the iteration cap must fire.
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) { return in; },
+      en::either{en::frontier_empty{}, en::max_iterations{3}});
+  EXPECT_EQ(stats.iterations, 3u);
+}
+
+TEST(BspLoop, ValueBelowStopsOnMeasurement) {
+  double residual = 100.0;
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [&residual](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        residual /= 10.0;  // 10, 1, 0.1, 0.01 ...
+        return in;
+      },
+      en::value_below{[&residual]() { return residual; }, 0.5});
+  EXPECT_EQ(stats.iterations, 3u);  // stops once residual == 0.1 < 0.5
+}
+
+TEST(BspLoop, IterationIndexIsPassedToStep) {
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  std::vector<std::size_t> seen;
+  en::bsp_loop(
+      std::move(f),
+      [&seen](fr::sparse_frontier<vertex_t> in, std::size_t iteration) {
+        seen.push_back(iteration);
+        return iteration == 2 ? fr::sparse_frontier<vertex_t>{} : in;
+      });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(AsyncLoop, ProcessesDynamicallyGeneratedWork) {
+  fr::async_queue_frontier<vertex_t> f;
+  f.add_vertex(0);
+  std::atomic<int> max_seen{0};
+  auto const processed = en::async_loop(f, 4, [&](vertex_t v) {
+    int old = max_seen.load();
+    while (v > old && !max_seen.compare_exchange_weak(old, v)) {
+    }
+    if (v < 100)
+      f.add_vertex(v + 1);
+  });
+  EXPECT_EQ(processed, 101u);
+  EXPECT_EQ(max_seen.load(), 100);
+}
+
+TEST(AsyncLoop, SingleWorkerDrainsSequentially) {
+  fr::async_queue_frontier<vertex_t> f;
+  for (vertex_t v = 0; v < 10; ++v)
+    f.add_vertex(v);
+  std::atomic<int> count{0};
+  auto const processed =
+      en::async_loop(f, 1, [&count](vertex_t) { count.fetch_add(1); });
+  EXPECT_EQ(processed, 10u);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(AsyncLoop, EmptyFrontierReturnsImmediately) {
+  fr::async_queue_frontier<vertex_t> f;
+  auto const processed = en::async_loop(f, 2, [](vertex_t) {});
+  EXPECT_EQ(processed, 0u);
+}
+
+TEST(AsyncLoop, RejectsZeroWorkers) {
+  fr::async_queue_frontier<vertex_t> f;
+  EXPECT_THROW(en::async_loop(f, 0, [](vertex_t) {}),
+               essentials::graph_error);
+}

@@ -1,0 +1,235 @@
+// Tests for the frontier family: sparse, dense, async queue, distributed —
+// plus the interface concept and representation conversions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "core/frontier/frontier.hpp"
+#include "mpsim/communicator.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace f = essentials::frontier;
+namespace p = essentials::parallel;
+namespace mp = essentials::mpsim;
+using essentials::vertex_t;
+
+// --- sparse ------------------------------------------------------------------
+
+TEST(SparseFrontier, Listing2Interface) {
+  f::sparse_frontier<vertex_t> fr;
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_TRUE(fr.empty());
+  fr.add_vertex(3);
+  fr.add_vertex(7);
+  EXPECT_EQ(fr.size(), 2u);
+  EXPECT_EQ(fr.get_active_vertex(0), 3);
+  EXPECT_EQ(fr.get_active_vertex(1), 7);
+  EXPECT_THROW(fr.get_active_vertex(2), essentials::graph_error);
+}
+
+TEST(SparseFrontier, ConcurrentAddsLoseNothing) {
+  f::sparse_frontier<vertex_t> fr;
+  p::thread_pool pool(4);
+  pool.run_blocked(5000, [&fr](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      fr.add_vertex(static_cast<vertex_t>(i));
+  });
+  EXPECT_EQ(fr.size(), 5000u);
+  auto v = fr.to_vector();
+  std::sort(v.begin(), v.end());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(v[i], static_cast<vertex_t>(i));
+}
+
+TEST(SparseFrontier, AppendBulk) {
+  f::sparse_frontier<vertex_t> fr;
+  std::vector<vertex_t> chunk{1, 2, 3};
+  fr.append_bulk(chunk.data(), chunk.size());
+  fr.append_bulk(chunk.data(), 0);  // no-op
+  EXPECT_EQ(fr.size(), 3u);
+  EXPECT_TRUE(fr.contains(2));
+  EXPECT_FALSE(fr.contains(9));
+}
+
+TEST(SparseFrontier, ClearAndSwap) {
+  f::sparse_frontier<vertex_t> a, b;
+  a.add_vertex(1);
+  b.add_vertex(2);
+  b.add_vertex(3);
+  swap(a, b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+// --- dense -------------------------------------------------------------------
+
+TEST(DenseFrontier, MembershipAndCount) {
+  f::dense_frontier<vertex_t> fr(100);
+  EXPECT_TRUE(fr.empty());
+  fr.add_vertex(0);
+  fr.add_vertex(63);
+  fr.add_vertex(64);
+  fr.add_vertex(99);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_TRUE(fr.contains(63));
+  EXPECT_FALSE(fr.contains(50));
+  fr.remove_vertex(63);
+  EXPECT_FALSE(fr.contains(63));
+  EXPECT_EQ(fr.size(), 3u);
+}
+
+TEST(DenseFrontier, TryAddReportsFirstClaim) {
+  f::dense_frontier<vertex_t> fr(10);
+  EXPECT_TRUE(fr.try_add_vertex(5));
+  EXPECT_FALSE(fr.try_add_vertex(5));
+}
+
+TEST(DenseFrontier, ToVectorIsSorted) {
+  f::dense_frontier<vertex_t> fr(200);
+  for (vertex_t v : {150, 3, 77, 64, 199})
+    fr.add_vertex(v);
+  EXPECT_EQ(fr.to_vector(), (std::vector<vertex_t>{3, 64, 77, 150, 199}));
+}
+
+TEST(DenseFrontier, ConcurrentAddsAreExact) {
+  f::dense_frontier<vertex_t> fr(4096);
+  p::thread_pool pool(4);
+  pool.run_blocked(4096, [&fr](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (i % 3 == 0)
+        fr.add_vertex(static_cast<vertex_t>(i));
+  });
+  EXPECT_EQ(fr.size(), (4096 + 2) / 3);
+}
+
+// --- conversions ---------------------------------------------------------------
+
+TEST(FrontierConversions, SparseDenseRoundTrip) {
+  f::sparse_frontier<vertex_t> sparse(std::vector<vertex_t>{9, 1, 5});
+  auto dense = f::to_dense(sparse, 16);
+  EXPECT_EQ(dense.size(), 3u);
+  EXPECT_TRUE(dense.contains(9));
+  auto back = f::to_sparse(dense);
+  EXPECT_EQ(back.to_vector(), (std::vector<vertex_t>{1, 5, 9}));
+}
+
+TEST(FrontierConversions, DensityMeasures) {
+  f::dense_frontier<vertex_t> dense(100);
+  for (vertex_t v = 0; v < 25; ++v)
+    dense.add_vertex(v);
+  EXPECT_DOUBLE_EQ(f::density(dense), 0.25);
+  f::sparse_frontier<vertex_t> sparse(std::vector<vertex_t>{1, 2});
+  EXPECT_DOUBLE_EQ(f::density(sparse, 8), 0.25);
+}
+
+TEST(FrontierConversions, SeedQueueTransfersAll) {
+  f::sparse_frontier<vertex_t> sparse(std::vector<vertex_t>{4, 8, 15});
+  f::async_queue_frontier<vertex_t> q;
+  f::seed_queue(sparse, q);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+// --- async queue -----------------------------------------------------------------
+
+TEST(AsyncQueueFrontier, PopProcessFinishTerminates) {
+  f::async_queue_frontier<vertex_t> fr;
+  fr.add_vertex(1);
+  fr.add_vertex(2);
+  std::set<vertex_t> seen;
+  vertex_t v;
+  while (fr.pop_vertex(v)) {
+    seen.insert(v);
+    fr.finish_vertex();
+  }
+  EXPECT_EQ(seen, (std::set<vertex_t>{1, 2}));
+  EXPECT_TRUE(fr.is_quiescent());
+}
+
+TEST(AsyncQueueFrontier, DynamicWorkKeepsConsumersAlive) {
+  f::async_queue_frontier<vertex_t> fr;
+  fr.add_vertex(0);
+  std::atomic<int> processed{0};
+  auto consumer = [&] {
+    vertex_t x;
+    while (fr.pop_vertex(x)) {
+      if (x < 200)
+        fr.add_vertex(x + 1);
+      fr.finish_vertex();
+      processed.fetch_add(1);
+    }
+  };
+  std::thread t1(consumer), t2(consumer);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(processed.load(), 201);
+}
+
+TEST(AsyncQueueFrontier, CloseEndsEarly) {
+  f::async_queue_frontier<vertex_t> fr;
+  fr.add_vertex(1);
+  fr.close();
+  vertex_t v;
+  EXPECT_FALSE(fr.pop_vertex(v));
+}
+
+// --- concepts --------------------------------------------------------------------
+
+TEST(FrontierConcepts, AllRepresentationsSatisfyTheInterface) {
+  static_assert(f::frontier_like<f::sparse_frontier<vertex_t>>);
+  static_assert(f::frontier_like<f::dense_frontier<vertex_t>>);
+  static_assert(f::frontier_like<f::async_queue_frontier<vertex_t>>);
+  static_assert(f::indexable_frontier<f::sparse_frontier<vertex_t>>);
+  static_assert(!f::indexable_frontier<f::dense_frontier<vertex_t>>);
+  static_assert(f::queryable_frontier<f::dense_frontier<vertex_t>>);
+  static_assert(f::queryable_frontier<f::sparse_frontier<vertex_t>>);
+  SUCCEED();
+}
+
+// --- distributed ------------------------------------------------------------------
+
+TEST(DistributedFrontier, RoutesVerticesToOwners) {
+  constexpr int P = 3;
+  mp::communicator::run(P, [](mp::communicator& comm, int rank) {
+    f::distributed_frontier<vertex_t> fr(
+        comm, rank, [](vertex_t v) { return static_cast<int>(v % P); });
+    // Every rank activates vertices 0..8; each owner must end up with its
+    // residue class (with P copies each, one per activating rank).
+    for (vertex_t v = 0; v < 9; ++v)
+      fr.add_vertex(v);
+    auto const global = fr.exchange(0);
+    EXPECT_EQ(global, 27u);  // 9 activations from each of 3 ranks
+    for (vertex_t const v : fr.local())
+      EXPECT_EQ(static_cast<int>(v % P), rank);
+    EXPECT_EQ(fr.size(), 9u);  // 3 owned vertices x 3 activating ranks
+  });
+}
+
+TEST(DistributedFrontier, EmptyExchangeReportsZero) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    f::distributed_frontier<vertex_t> fr(comm, rank,
+                                         [](vertex_t v) { return v % 2; });
+    EXPECT_EQ(fr.exchange(0), 0u);
+    EXPECT_TRUE(fr.empty());
+  });
+}
+
+TEST(DistributedFrontier, MultipleSuperstepsWithDistinctTags) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    f::distributed_frontier<vertex_t> fr(comm, rank,
+                                         [](vertex_t v) { return v % 2; });
+    for (int step = 0; step < 5; ++step) {
+      if (rank == 0)
+        fr.add_vertex(static_cast<vertex_t>(2 * step + 1));  // owned by rank 1
+      auto const global = fr.exchange(step);
+      EXPECT_EQ(global, 1u) << "step " << step;
+      if (rank == 1) {
+        ASSERT_EQ(fr.size(), 1u);
+        EXPECT_EQ(fr.local()[0], static_cast<vertex_t>(2 * step + 1));
+      }
+    }
+  });
+}

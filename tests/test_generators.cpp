@@ -1,0 +1,199 @@
+// Tests for the synthetic graph generators: structural invariants,
+// determinism, and the degree-distribution regimes DESIGN.md promises.
+#include <gtest/gtest.h>
+
+#include "generators/generators.hpp"
+#include "generators/random.hpp"
+#include "graph/build.hpp"
+#include "graph/properties.hpp"
+
+namespace gen = essentials::generators;
+namespace g = essentials::graph;
+using essentials::vertex_t;
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  gen::rng_t a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  gen::rng_t a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  gen::rng_t rng(7);
+  for (int i = 0; i < 10'000; ++i)
+    EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  gen::rng_t rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    double const d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  gen::rng_t rng(3);
+  std::vector<int> buckets(10, 0);
+  int const draws = 100'000;
+  for (int i = 0; i < draws; ++i)
+    ++buckets[rng.next_below(10)];
+  for (int const b : buckets) {
+    EXPECT_GT(b, draws / 10 - draws / 50);
+    EXPECT_LT(b, draws / 10 + draws / 50);
+  }
+}
+
+// --- generators ------------------------------------------------------------------
+
+TEST(Generators, RmatShapeAndDeterminism) {
+  gen::rmat_options opt;
+  opt.scale = 8;
+  opt.edge_factor = 8;
+  opt.seed = 5;
+  auto const a = gen::rmat(opt);
+  auto const b = gen::rmat(opt);
+  EXPECT_EQ(a.num_rows, 256);
+  EXPECT_EQ(a.num_edges(), 8 * 256);
+  EXPECT_EQ(a.row_indices, b.row_indices);
+  EXPECT_EQ(a.column_indices, b.column_indices);
+  for (std::size_t i = 0; i < a.row_indices.size(); ++i) {
+    EXPECT_GE(a.row_indices[i], 0);
+    EXPECT_LT(a.row_indices[i], 256);
+    EXPECT_GE(a.column_indices[i], 0);
+    EXPECT_LT(a.column_indices[i], 256);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // Power-law-ish degree distribution: max degree far above the mean.
+  gen::rmat_options opt;
+  opt.scale = 10;
+  opt.edge_factor = 16;
+  auto coo = gen::rmat(opt);
+  auto const csr = g::build_csr(coo);
+  auto const s = g::out_degree_stats(csr);
+  EXPECT_GT(static_cast<double>(s.max_degree), 5.0 * s.mean_degree);
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  gen::rmat_options opt;
+  opt.scale = 0;
+  EXPECT_THROW(gen::rmat(opt), essentials::graph_error);
+  opt.scale = 4;
+  opt.a = 0.9;
+  opt.b = 0.2;  // a+b+c > 1
+  EXPECT_THROW(gen::rmat(opt), essentials::graph_error);
+}
+
+TEST(Generators, ErdosRenyiIsNotSkewed) {
+  auto coo = gen::erdos_renyi(1024, 1024 * 16, {}, 3);
+  EXPECT_EQ(coo.num_edges(), 1024 * 16);
+  auto const csr = g::build_csr(coo);
+  auto const s = g::out_degree_stats(csr);
+  // Uniform graphs: max degree within a small multiple of the mean.
+  EXPECT_LT(static_cast<double>(s.max_degree), 4.0 * s.mean_degree);
+}
+
+TEST(Generators, WattsStrogatzSymmetricAndDegreeBound) {
+  auto coo = gen::watts_strogatz(200, 3, 0.1, {}, 11);
+  g::sort_and_deduplicate(coo);
+  auto const csr = g::build_csr(coo);
+  EXPECT_TRUE(g::is_symmetric(csr));
+}
+
+TEST(Generators, Grid2dStructure) {
+  auto coo = gen::grid_2d(4, 5);
+  EXPECT_EQ(coo.num_rows, 20);
+  // 2 * (rows*(cols-1) + (rows-1)*cols) directed edges
+  EXPECT_EQ(static_cast<int>(coo.num_edges()), 2 * (4 * 4 + 3 * 5));
+  auto const csr = g::build_csr(coo);
+  EXPECT_TRUE(g::is_symmetric(csr));
+  auto const s = g::out_degree_stats(csr);
+  EXPECT_EQ(s.min_degree, 2u);  // corners
+  EXPECT_EQ(s.max_degree, 4u);  // interior
+}
+
+TEST(Generators, ChainStructure) {
+  auto coo = gen::chain(10);
+  EXPECT_EQ(coo.num_edges(), 9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(coo.row_indices[i], static_cast<vertex_t>(i));
+    EXPECT_EQ(coo.column_indices[i], static_cast<vertex_t>(i + 1));
+  }
+}
+
+TEST(Generators, StarStructure) {
+  auto coo = gen::star(6);
+  auto const csr = g::build_csr(coo);
+  auto const s = g::out_degree_stats(csr);
+  EXPECT_EQ(s.max_degree, 5u);  // hub
+  EXPECT_EQ(s.min_degree, 1u);  // spokes
+  EXPECT_TRUE(g::is_symmetric(csr));
+}
+
+TEST(Generators, CompleteStructure) {
+  auto coo = gen::complete(5);
+  EXPECT_EQ(static_cast<int>(coo.num_edges()), 5 * 4);
+  auto const csr = g::build_csr(coo);
+  EXPECT_TRUE(g::has_no_self_loops(csr));
+  auto const s = g::out_degree_stats(csr);
+  EXPECT_EQ(s.min_degree, 4u);
+  EXPECT_EQ(s.max_degree, 4u);
+}
+
+TEST(Generators, WeightRangesRespected) {
+  gen::weight_options w{2.0f, 7.0f};
+  auto coo = gen::erdos_renyi(64, 1000, w, 13);
+  for (float const v : coo.values) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 7.0f);
+  }
+  gen::weight_options unit{1.0f, 1.0f};
+  auto coo2 = gen::chain(16, unit);
+  for (float const v : coo2.values)
+    EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+// Property sweep: every generator family produces a structurally valid CSR
+// after canonical cleanup, across several seeds.
+class GeneratorValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorValidity, AllFamiliesBuildValidCsr) {
+  auto const seed = GetParam();
+  std::vector<g::coo_t<>> coos;
+  gen::rmat_options ro;
+  ro.scale = 7;
+  ro.edge_factor = 4;
+  ro.seed = seed;
+  coos.push_back(gen::rmat(ro));
+  coos.push_back(gen::erdos_renyi(128, 1000, {}, seed));
+  coos.push_back(gen::watts_strogatz(100, 2, 0.2, {}, seed));
+  coos.push_back(gen::grid_2d(8, 9, {}, seed));
+  coos.push_back(gen::chain(50, {}, seed));
+  coos.push_back(gen::star(30, {}, seed));
+  coos.push_back(gen::complete(12, {}, seed));
+  for (auto& coo : coos) {
+    g::sort_and_deduplicate(coo);
+    g::remove_self_loops(coo);
+    auto const csr = g::build_csr(coo);
+    EXPECT_TRUE(g::is_valid_csr(csr));
+    EXPECT_TRUE(g::has_no_duplicate_edges(csr));
+    EXPECT_TRUE(g::has_no_self_loops(csr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorValidity,
+                         ::testing::Values(1, 2, 3, 17, 99));

@@ -1,0 +1,198 @@
+// Genericity tests: the framework is templated over vertex/edge/weight
+// types — prove it by instantiating the whole stack with 64-bit ids and
+// double weights, plus the new mpsim collectives and neighbor_reduce
+// operator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/operators/neighbor_reduce.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+
+using v64 = std::int64_t;
+using e64 = std::int64_t;
+using w64 = double;
+using graph64 =
+    g::graph_t<g::csr_view<v64, e64, w64>, g::csc_view<v64, e64, w64>>;
+
+namespace {
+
+graph64 wide_graph() {
+  g::coo_t<v64, e64, w64> coo;
+  coo.num_rows = coo.num_cols = 64;
+  // Ring + chords.
+  for (v64 v = 0; v < 64; ++v) {
+    coo.push_back(v, (v + 1) % 64, 1.0);
+    coo.push_back(v, (v + 7) % 64, 3.5);
+  }
+  return g::from_coo<graph64>(std::move(coo));
+}
+
+}  // namespace
+
+// --- 64-bit instantiation ------------------------------------------------------
+
+TEST(Genericity, GraphViewsWorkWith64BitIds) {
+  auto const gr = wide_graph();
+  EXPECT_EQ(gr.get_num_vertices(), 64);
+  EXPECT_EQ(gr.get_num_edges(), 128);
+  EXPECT_EQ(gr.get_out_degree(0), 2);
+  EXPECT_EQ(gr.get_in_degree(0), 2);
+  static_assert(std::is_same_v<graph64::vertex_type, std::int64_t>);
+  static_assert(std::is_same_v<graph64::weight_type, double>);
+}
+
+TEST(Genericity, SsspRunsWith64BitTypes) {
+  auto const gr = wide_graph();
+  auto const par = e::algorithms::sssp(e::execution::par, gr, v64{0});
+  auto const oracle = e::algorithms::dijkstra(gr, v64{0});
+  ASSERT_EQ(par.distances.size(), 64u);
+  for (std::size_t v = 0; v < 64; ++v)
+    EXPECT_NEAR(par.distances[v], oracle.distances[v], 1e-9) << v;
+}
+
+TEST(Genericity, BfsAndPullRunWith64BitTypes) {
+  auto const gr = wide_graph();
+  auto const push = e::algorithms::bfs(e::execution::par, gr, v64{0});
+  auto const pull = e::algorithms::bfs_pull(e::execution::par, gr, v64{0});
+  auto const serial = e::algorithms::bfs_serial(gr, v64{0});
+  EXPECT_EQ(push.depths, serial.depths);
+  EXPECT_EQ(pull.depths, serial.depths);
+}
+
+TEST(Genericity, FrontiersWorkWith64BitIds) {
+  e::frontier::sparse_frontier<v64> sparse;
+  sparse.add_vertex(v64{1} << 40);
+  EXPECT_EQ(sparse.get_active_vertex(0), v64{1} << 40);
+  e::frontier::dense_frontier<v64> dense(128);
+  dense.add_vertex(v64{100});
+  EXPECT_TRUE(dense.contains(v64{100}));
+  static_assert(e::frontier::frontier_like<e::frontier::sparse_frontier<v64>>);
+}
+
+TEST(Genericity, AtomicsWorkAcrossWidths) {
+  double d = 5.0;
+  EXPECT_DOUBLE_EQ(e::atomic::min(&d, 2.0), 5.0);
+  std::int64_t i = 10;
+  EXPECT_EQ(e::atomic::max(&i, std::int64_t{20}), 10);
+  EXPECT_EQ(i, 20);
+  std::uint32_t u = 1;
+  EXPECT_EQ(e::atomic::add(&u, std::uint32_t{5}), 1u);
+}
+
+// --- neighbor_reduce ---------------------------------------------------------------
+
+TEST(NeighborReduce, OutDegreeViaCountReduce) {
+  auto const gr = wide_graph();
+  std::vector<int> degree(64, -1);
+  e::operators::neighbor_reduce(
+      e::execution::par, gr, 0,
+      [](v64, v64, e64, w64) { return 1; },
+      [](int a, int b) { return a + b; }, degree.data());
+  for (v64 v = 0; v < 64; ++v)
+    EXPECT_EQ(degree[static_cast<std::size_t>(v)], 2);
+}
+
+TEST(NeighborReduce, WeightedSumMatchesManual) {
+  auto const gr = wide_graph();
+  std::vector<double> strength(64, 0.0);
+  e::operators::neighbor_reduce(
+      e::execution::par, gr, 0.0,
+      [](v64, v64, e64, w64 w) { return w; },
+      [](double a, double b) { return a + b; }, strength.data());
+  for (v64 v = 0; v < 64; ++v)
+    EXPECT_DOUBLE_EQ(strength[static_cast<std::size_t>(v)], 1.0 + 3.5);
+}
+
+TEST(NeighborReduce, InEdgesGatherMatchesOutScatter) {
+  auto const gr = wide_graph();
+  // Sum of in-weights == sum of out-weights on a ring+chords (regular).
+  std::vector<double> in_sum(64, 0.0);
+  e::operators::in_neighbor_reduce(
+      e::execution::par, gr, 0.0,
+      [](v64, v64, e64, w64 w) { return w; },
+      [](double a, double b) { return a + b; }, in_sum.data());
+  for (v64 v = 0; v < 64; ++v)
+    EXPECT_DOUBLE_EQ(in_sum[static_cast<std::size_t>(v)], 4.5);
+}
+
+TEST(NeighborReduce, FrontierRestrictedTouchesOnlyActive) {
+  auto const gr = wide_graph();
+  e::frontier::sparse_frontier<v64> f(std::vector<v64>{3, 7});
+  std::vector<int> out(64, -1);
+  e::operators::neighbor_reduce(
+      e::execution::par, gr, f, 0,
+      [](v64, v64, e64, w64) { return 1; },
+      [](int a, int b) { return a + b; }, out.data());
+  for (v64 v = 0; v < 64; ++v) {
+    if (v == 3 || v == 7)
+      EXPECT_EQ(out[static_cast<std::size_t>(v)], 2);
+    else
+      EXPECT_EQ(out[static_cast<std::size_t>(v)], -1);
+  }
+}
+
+TEST(NeighborReduce, MaxNeighborIdAsCombiner) {
+  auto const gr = wide_graph();
+  std::vector<v64> max_nb(64, -1);
+  e::operators::neighbor_reduce(
+      e::execution::seq, gr, v64{-1},
+      [](v64, v64 dst, e64, w64) { return dst; },
+      [](v64 a, v64 b) { return a > b ? a : b; }, max_nb.data());
+  EXPECT_EQ(max_nb[0], 7);   // neighbors 1 and 7
+  EXPECT_EQ(max_nb[60], 61); // neighbors 61 and (60+7)%64 = 3
+}
+
+// --- mpsim collectives ----------------------------------------------------------------
+
+TEST(Collectives, AllReduceMax) {
+  e::mpsim::communicator::run(4, [](e::mpsim::communicator& comm, int rank) {
+    auto const m = comm.all_reduce_max(
+        rank, static_cast<std::uint64_t>(rank == 2 ? 99 : rank));
+    EXPECT_EQ(m, 99u);
+  });
+}
+
+TEST(Collectives, BroadcastDeliversRootPayloadEverywhere) {
+  e::mpsim::communicator::run(3, [](e::mpsim::communicator& comm, int rank) {
+    std::vector<std::uint64_t> const payload =
+        rank == 1 ? std::vector<std::uint64_t>{7, 8, 9}
+                  : std::vector<std::uint64_t>{};
+    auto const got = comm.broadcast(rank, /*root=*/1, /*tag=*/5, payload);
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{7, 8, 9})) << "rank " << rank;
+  });
+}
+
+TEST(Collectives, GatherConcatenatesByRank) {
+  e::mpsim::communicator::run(3, [](e::mpsim::communicator& comm, int rank) {
+    auto const got = comm.gather(
+        rank, /*root=*/0, /*tag=*/6,
+        {static_cast<std::uint64_t>(rank * 10),
+         static_cast<std::uint64_t>(rank * 10 + 1)});
+    if (rank == 0)
+      EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 10, 11, 20, 21}));
+    else
+      EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST(Collectives, RepeatedCollectivesStayInSync) {
+  e::mpsim::communicator::run(2, [](e::mpsim::communicator& comm, int rank) {
+    for (int round = 0; round < 5; ++round) {
+      auto const s = comm.all_reduce_sum(rank, 1);
+      EXPECT_EQ(s, 2u);
+      auto const m =
+          comm.all_reduce_max(rank, static_cast<std::uint64_t>(rank));
+      EXPECT_EQ(m, 1u);
+      auto const b = comm.broadcast(rank, 0, 100 + round,
+                                    rank == 0
+                                        ? std::vector<std::uint64_t>{42}
+                                        : std::vector<std::uint64_t>{});
+      EXPECT_EQ(b, (std::vector<std::uint64_t>{42}));
+    }
+  });
+}

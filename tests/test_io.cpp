@@ -1,0 +1,211 @@
+// Tests for the IO module: MatrixMarket, edge lists, DIMACS, binary CSR.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "generators/generators.hpp"
+#include "graph/build.hpp"
+#include "io/binary.hpp"
+#include "io/dimacs.hpp"
+#include "io/edge_list.hpp"
+#include "io/matrix_market.hpp"
+
+namespace io = essentials::io;
+namespace g = essentials::graph;
+namespace gen = essentials::generators;
+
+// --- MatrixMarket -------------------------------------------------------------
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 1.5\n"
+      "3 1 2.5\n");
+  auto const coo = io::read_matrix_market(in);
+  EXPECT_EQ(coo.num_rows, 3);
+  ASSERT_EQ(coo.num_edges(), 2);
+  EXPECT_EQ(coo.row_indices[0], 0);  // 1-based -> 0-based
+  EXPECT_EQ(coo.column_indices[0], 1);
+  EXPECT_FLOAT_EQ(coo.values[0], 1.5f);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n"
+      "3 3 9.0\n");  // diagonal entry must NOT be duplicated
+  auto const coo = io::read_matrix_market(in);
+  EXPECT_EQ(coo.num_edges(), 3);  // (1,0), (0,1), (2,2)
+}
+
+TEST(MatrixMarket, PatternGetsUnitWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  auto const coo = io::read_matrix_market(in);
+  ASSERT_EQ(coo.num_edges(), 1);
+  EXPECT_FLOAT_EQ(coo.values[0], 1.0f);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  std::istringstream no_banner("1 1 0\n");
+  EXPECT_THROW(io::read_matrix_market(no_banner), essentials::graph_error);
+
+  std::istringstream bad_object(
+      "%%MatrixMarket vector coordinate real general\n1 1 0\n");
+  EXPECT_THROW(io::read_matrix_market(bad_object), essentials::graph_error);
+
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(out_of_range), essentials::graph_error);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(truncated), essentials::graph_error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  auto coo = gen::erdos_renyi(32, 100, {0.5f, 2.0f}, 5);
+  g::sort_and_deduplicate(coo);
+  std::stringstream buf;
+  io::write_matrix_market(buf, coo);
+  auto const back = io::read_matrix_market(buf);
+  EXPECT_EQ(back.num_rows, coo.num_rows);
+  EXPECT_EQ(back.row_indices, coo.row_indices);
+  EXPECT_EQ(back.column_indices, coo.column_indices);
+  for (std::size_t i = 0; i < coo.values.size(); ++i)
+    EXPECT_NEAR(back.values[i], coo.values[i], 1e-4f);
+}
+
+// --- edge list -----------------------------------------------------------------
+
+TEST(EdgeList, ParsesWithCommentsAndOptionalWeights) {
+  std::istringstream in(
+      "# SNAP-style comment\n"
+      "% another comment\n"
+      "0 1 2.5\n"
+      "1 2\n"
+      "\n"
+      "2 0 7\n");
+  auto const coo = io::read_edge_list(in);
+  EXPECT_EQ(coo.num_rows, 3);
+  ASSERT_EQ(coo.num_edges(), 3);
+  EXPECT_FLOAT_EQ(coo.values[0], 2.5f);
+  EXPECT_FLOAT_EQ(coo.values[1], 1.0f);  // default weight
+}
+
+TEST(EdgeList, ExplicitVertexCountOverridesInference) {
+  std::istringstream in("0 1\n");
+  io::edge_list_options opt;
+  opt.num_vertices = 10;
+  auto const coo = io::read_edge_list(in, opt);
+  EXPECT_EQ(coo.num_rows, 10);
+}
+
+TEST(EdgeList, RejectsBadLines) {
+  std::istringstream garbage("0 x\n");
+  EXPECT_THROW(io::read_edge_list(garbage), essentials::graph_error);
+  std::istringstream negative("-1 2\n");
+  EXPECT_THROW(io::read_edge_list(negative), essentials::graph_error);
+  std::istringstream in("0 5\n");
+  io::edge_list_options opt;
+  opt.num_vertices = 3;  // smaller than max id + 1
+  EXPECT_THROW(io::read_edge_list(in, opt), essentials::graph_error);
+}
+
+TEST(EdgeList, RoundTrip) {
+  auto coo = gen::grid_2d(3, 3);
+  std::stringstream buf;
+  io::write_edge_list(buf, coo);
+  auto const back = io::read_edge_list(buf);
+  EXPECT_EQ(back.row_indices, coo.row_indices);
+  EXPECT_EQ(back.column_indices, coo.column_indices);
+}
+
+// --- DIMACS --------------------------------------------------------------------
+
+TEST(Dimacs, ParsesProblemAndArcs) {
+  std::istringstream in(
+      "c road network fragment\n"
+      "p sp 3 2\n"
+      "a 1 2 10\n"
+      "a 2 3 20\n");
+  auto const coo = io::read_dimacs(in);
+  EXPECT_EQ(coo.num_rows, 3);
+  ASSERT_EQ(coo.num_edges(), 2);
+  EXPECT_EQ(coo.row_indices[0], 0);
+  EXPECT_FLOAT_EQ(coo.values[1], 20.0f);
+}
+
+TEST(Dimacs, RejectsMalformed) {
+  std::istringstream no_problem("a 1 2 3\n");
+  EXPECT_THROW(io::read_dimacs(no_problem), essentials::graph_error);
+  std::istringstream bad_type("p sp 2 1\nz 1 2 3\n");
+  EXPECT_THROW(io::read_dimacs(bad_type), essentials::graph_error);
+  std::istringstream out_of_range("p sp 2 1\na 1 9 3\n");
+  EXPECT_THROW(io::read_dimacs(out_of_range), essentials::graph_error);
+  std::istringstream empty("c only comments\n");
+  EXPECT_THROW(io::read_dimacs(empty), essentials::graph_error);
+}
+
+TEST(Dimacs, RoundTrip) {
+  auto coo = gen::grid_2d(4, 4, {1.0f, 10.0f}, 3);
+  for (auto& v : coo.values)
+    v = static_cast<float>(static_cast<long long>(v));  // integral weights
+  std::stringstream buf;
+  io::write_dimacs(buf, coo);
+  auto const back = io::read_dimacs(buf);
+  EXPECT_EQ(back.row_indices, coo.row_indices);
+  EXPECT_EQ(back.column_indices, coo.column_indices);
+  EXPECT_EQ(back.values, coo.values);
+}
+
+// --- binary CSR ------------------------------------------------------------------
+
+TEST(BinaryCsr, RoundTripPreservesEverything) {
+  gen::rmat_options opt;
+  opt.scale = 6;
+  opt.edge_factor = 4;
+  auto coo = gen::rmat(opt);
+  g::sort_and_deduplicate(coo);
+  auto const csr = g::build_csr(coo);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary_csr(buf, csr);
+  auto const back = io::read_binary_csr(buf);
+  EXPECT_EQ(back.num_rows, csr.num_rows);
+  EXPECT_EQ(back.num_cols, csr.num_cols);
+  EXPECT_EQ(back.row_offsets, csr.row_offsets);
+  EXPECT_EQ(back.column_indices, csr.column_indices);
+  EXPECT_EQ(back.values, csr.values);
+}
+
+TEST(BinaryCsr, RejectsBadMagicAndTruncation) {
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << "definitely not a CSR file";
+  EXPECT_THROW(io::read_binary_csr(bad), essentials::graph_error);
+
+  auto coo = gen::chain(8);
+  auto const csr = g::build_csr(coo);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary_csr(buf, csr);
+  std::string const full = buf.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(io::read_binary_csr(cut), essentials::graph_error);
+}
+
+TEST(BinaryCsr, FileRoundTrip) {
+  auto coo = gen::star(10);
+  auto const csr = g::build_csr(coo);
+  std::string const path = ::testing::TempDir() + "/essentials_csr.bin";
+  io::write_binary_csr_file(path, csr);
+  auto const back = io::read_binary_csr_file(path);
+  EXPECT_EQ(back.column_indices, csr.column_indices);
+  EXPECT_THROW(io::read_binary_csr_file("/nonexistent/nope.bin"),
+               essentials::graph_error);
+}

@@ -1,0 +1,114 @@
+// Robustness fuzzing (deterministic): every reader fed random garbage,
+// truncations and boundary inputs must either parse or throw graph_error —
+// never crash, hang, or return an inconsistent structure.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+
+namespace {
+
+std::string random_bytes(std::size_t len, std::uint64_t seed) {
+  e::generators::rng_t rng(seed);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(static_cast<char>(rng.next_below(256)));
+  return s;
+}
+
+std::string random_ascii(std::size_t len, std::uint64_t seed) {
+  e::generators::rng_t rng(seed);
+  std::string const alphabet = "0123456789 \t\n.-%#aepz";
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(alphabet[rng.next_below(alphabet.size())]);
+  return s;
+}
+
+template <typename Reader>
+void expect_parse_or_throw(Reader&& reader, std::string const& payload,
+                           std::string const& label) {
+  std::istringstream in(payload);
+  try {
+    auto const coo = reader(in);
+    // If it parsed, the result must be structurally sound.
+    EXPECT_GE(coo.num_rows, 0) << label;
+    for (std::size_t i = 0; i < coo.row_indices.size(); ++i) {
+      EXPECT_GE(coo.row_indices[i], 0) << label;
+      EXPECT_LT(coo.row_indices[i], coo.num_rows) << label;
+      EXPECT_GE(coo.column_indices[i], 0) << label;
+      EXPECT_LT(coo.column_indices[i], coo.num_cols) << label;
+    }
+  } catch (e::graph_error const&) {
+    // expected failure mode
+  }
+}
+
+}  // namespace
+
+class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, MatrixMarketSurvivesGarbage) {
+  auto const seed = GetParam();
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_matrix_market(in); },
+                        random_bytes(512, seed), "mtx/binary");
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_matrix_market(in); },
+                        random_ascii(512, seed), "mtx/ascii");
+  expect_parse_or_throw(
+      [](std::istream& in) { return e::io::read_matrix_market(in); },
+      "%%MatrixMarket matrix coordinate real general\n" +
+          random_ascii(256, seed),
+      "mtx/banner+garbage");
+}
+
+TEST_P(IoFuzz, EdgeListSurvivesGarbage) {
+  auto const seed = GetParam();
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_edge_list(in); },
+                        random_ascii(512, seed), "el/ascii");
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_edge_list(in); },
+                        random_bytes(512, seed), "el/binary");
+}
+
+TEST_P(IoFuzz, DimacsSurvivesGarbage) {
+  auto const seed = GetParam();
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_dimacs(in); },
+                        random_ascii(512, seed), "gr/ascii");
+  expect_parse_or_throw(
+      [](std::istream& in) { return e::io::read_dimacs(in); },
+      "p sp 5 3\n" + random_ascii(256, seed), "gr/header+garbage");
+}
+
+TEST_P(IoFuzz, MetisSurvivesGarbage) {
+  auto const seed = GetParam();
+  expect_parse_or_throw([](std::istream& in) { return e::io::read_metis(in); },
+                        random_ascii(512, seed), "metis/ascii");
+}
+
+TEST_P(IoFuzz, BinaryCsrSurvivesGarbageAndTruncation) {
+  auto const seed = GetParam();
+  {
+    std::istringstream in(random_bytes(256, seed));
+    EXPECT_THROW((void)e::io::read_binary_csr(in), e::graph_error);
+  }
+  // Valid prefix, truncated at every eighth byte boundary.
+  auto coo = e::generators::erdos_renyi(16, 60, {}, seed);
+  g::sort_and_deduplicate(coo);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  e::io::write_binary_csr(buf, g::build_csr(coo));
+  std::string const full = buf.str();
+  for (std::size_t cut = 8; cut + 8 < full.size(); cut += full.size() / 7) {
+    std::istringstream in(full.substr(0, cut));
+    EXPECT_THROW((void)e::io::read_binary_csr(in), e::graph_error)
+        << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));

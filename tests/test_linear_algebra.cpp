@@ -1,0 +1,219 @@
+// Tests for the linear-algebra bridge (SpGEMM) and the minimum spanning
+// forest (Borůvka vs Kruskal).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/mst.hpp"
+#include "algorithms/spgemm.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+using e::edge_t;
+using e::weight_t;
+
+namespace {
+
+g::csr_t<> csr_from(std::initializer_list<std::tuple<int, int, float>> entries,
+                    int rows, int cols) {
+  g::coo_t<> coo;
+  coo.num_rows = rows;
+  coo.num_cols = cols;
+  for (auto const& [r, c, v] : entries)
+    coo.push_back(r, c, v);
+  g::sort_and_deduplicate(coo);
+  return g::build_csr(coo);
+}
+
+g::graph_csr weighted_undirected(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  g::symmetrize(coo);
+  return g::from_coo<g::graph_csr>(std::move(coo),
+                                   g::duplicate_policy::keep_min);
+}
+
+}  // namespace
+
+// --- SpGEMM -----------------------------------------------------------------
+
+TEST(Spgemm, IdentityIsNeutral) {
+  auto const a = csr_from({{0, 1, 2.f}, {1, 2, 3.f}, {2, 0, 4.f}}, 3, 3);
+  auto const identity =
+      csr_from({{0, 0, 1.f}, {1, 1, 1.f}, {2, 2, 1.f}}, 3, 3);
+  auto const c = e::algorithms::spgemm(e::execution::par, a, identity);
+  EXPECT_EQ(c.row_offsets, a.row_offsets);
+  EXPECT_EQ(c.column_indices, a.column_indices);
+  EXPECT_EQ(c.values, a.values);
+}
+
+TEST(Spgemm, KnownSmallProduct) {
+  // A = [[1, 2], [0, 3]], B = [[4, 0], [5, 6]] -> C = [[14, 12], [15, 18]]
+  auto const a = csr_from({{0, 0, 1.f}, {0, 1, 2.f}, {1, 1, 3.f}}, 2, 2);
+  auto const b = csr_from({{0, 0, 4.f}, {1, 0, 5.f}, {1, 1, 6.f}}, 2, 2);
+  auto const c = e::algorithms::spgemm(e::execution::par, a, b);
+  ASSERT_EQ(c.num_edges(), 4);
+  EXPECT_EQ(c.column_indices, (std::vector<vertex_t>{0, 1, 0, 1}));
+  EXPECT_EQ(c.values, (std::vector<weight_t>{14.f, 12.f, 15.f, 18.f}));
+}
+
+TEST(Spgemm, MatchesDenseOracleOnRandomOperands) {
+  for (std::uint64_t seed : {1u, 5u}) {
+    auto coo_a = e::generators::erdos_renyi(40, 200, {0.5f, 2.0f}, seed);
+    auto coo_b = e::generators::erdos_renyi(40, 200, {0.5f, 2.0f}, seed + 50);
+    g::sort_and_deduplicate(coo_a);
+    g::sort_and_deduplicate(coo_b);
+    auto const a = g::build_csr(coo_a);
+    auto const b = g::build_csr(coo_b);
+    auto const c = e::algorithms::spgemm(e::execution::par, a, b);
+    auto const dense = e::algorithms::dense_matmul(a, b);
+    // Every stored entry matches the dense product; every non-stored
+    // position is zero.
+    std::vector<std::vector<double>> sparse_as_dense(
+        40, std::vector<double>(40, 0.0));
+    for (vertex_t i = 0; i < 40; ++i)
+      for (edge_t ed = c.row_offsets[static_cast<std::size_t>(i)];
+           ed < c.row_offsets[static_cast<std::size_t>(i) + 1]; ++ed)
+        sparse_as_dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+            c.column_indices[static_cast<std::size_t>(ed)])] =
+            static_cast<double>(c.values[static_cast<std::size_t>(ed)]);
+    for (std::size_t i = 0; i < 40; ++i)
+      for (std::size_t j = 0; j < 40; ++j)
+        EXPECT_NEAR(sparse_as_dense[i][j], dense[i][j], 1e-4)
+            << i << "," << j << " seed " << seed;
+  }
+}
+
+TEST(Spgemm, SquareOfAdjacencyCountsTwoHopPaths) {
+  // Path 0-1-2-3 (unit weights, directed): A^2(i, j) = #paths of length 2.
+  auto const a =
+      csr_from({{0, 1, 1.f}, {1, 2, 1.f}, {2, 3, 1.f}}, 4, 4);
+  auto const a2 = e::algorithms::spgemm(e::execution::par, a, a);
+  ASSERT_EQ(a2.num_edges(), 2);  // 0->2 and 1->3
+  EXPECT_EQ(a2.column_indices, (std::vector<vertex_t>{2, 3}));
+  EXPECT_EQ(a2.values, (std::vector<weight_t>{1.f, 1.f}));
+}
+
+TEST(Spgemm, RectangularOperands) {
+  // (2x3) * (3x2)
+  auto const a = csr_from({{0, 0, 1.f}, {0, 2, 2.f}, {1, 1, 3.f}}, 2, 3);
+  auto const b = csr_from({{0, 1, 4.f}, {1, 0, 5.f}, {2, 1, 6.f}}, 3, 2);
+  auto const c = e::algorithms::spgemm(e::execution::par, a, b);
+  EXPECT_EQ(c.num_rows, 2);
+  EXPECT_EQ(c.num_cols, 2);
+  // C = [[0, 1*4 + 2*6], [3*5, 0]] = [[0, 16], [15, 0]]
+  ASSERT_EQ(c.num_edges(), 2);
+  EXPECT_FLOAT_EQ(c.values[0], 16.f);
+  EXPECT_FLOAT_EQ(c.values[1], 15.f);
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  auto const a = csr_from({{0, 0, 1.f}}, 2, 3);
+  auto const b = csr_from({{0, 0, 1.f}}, 2, 2);
+  EXPECT_THROW(e::algorithms::spgemm(e::execution::par, a, b),
+               e::graph_error);
+}
+
+TEST(Spgemm, SeqMatchesPar) {
+  auto coo = e::generators::erdos_renyi(60, 400, {0.5f, 1.5f}, 9);
+  g::sort_and_deduplicate(coo);
+  auto const a = g::build_csr(coo);
+  auto const s = e::algorithms::spgemm(e::execution::seq, a, a);
+  auto const p = e::algorithms::spgemm(e::execution::par, a, a);
+  EXPECT_EQ(s.row_offsets, p.row_offsets);
+  EXPECT_EQ(s.column_indices, p.column_indices);
+  EXPECT_EQ(s.values, p.values);
+}
+
+// --- MST --------------------------------------------------------------------
+
+TEST(Mst, KnownTriangleWithTail) {
+  // Triangle 0-1 (1), 1-2 (2), 0-2 (3) plus tail 2-3 (4): MST weight
+  // 1 + 2 + 4 = 7.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 2.f);
+  coo.push_back(0, 2, 3.f);
+  coo.push_back(2, 3, 4.f);
+  auto const gr = weighted_undirected(std::move(coo));
+  auto const bor = e::algorithms::boruvka_mst(e::execution::par, gr);
+  auto const kru = e::algorithms::kruskal_mst(gr);
+  EXPECT_DOUBLE_EQ(bor.total_weight, 7.0);
+  EXPECT_DOUBLE_EQ(kru.total_weight, 7.0);
+  EXPECT_EQ(bor.num_trees, 1u);
+  EXPECT_EQ(bor.edges.size(), 3u);
+  EXPECT_TRUE(e::algorithms::is_valid_spanning_forest(gr, bor.edges,
+                                                      bor.num_trees));
+}
+
+TEST(Mst, BoruvkaMatchesKruskalOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 7u, 13u}) {
+    auto const gr = weighted_undirected(
+        e::generators::erdos_renyi(200, 1200, {0.1f, 9.0f}, seed));
+    auto const bor = e::algorithms::boruvka_mst(e::execution::par, gr);
+    auto const kru = e::algorithms::kruskal_mst(gr);
+    EXPECT_NEAR(bor.total_weight, kru.total_weight, 1e-3) << "seed " << seed;
+    EXPECT_EQ(bor.num_trees, kru.num_trees);
+    EXPECT_EQ(bor.edges.size(), kru.edges.size());
+    EXPECT_TRUE(e::algorithms::is_valid_spanning_forest(gr, bor.edges,
+                                                        bor.num_trees));
+  }
+}
+
+TEST(Mst, ForestOnDisconnectedGraph) {
+  // Two separate triangles.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 6;
+  for (int base : {0, 3}) {
+    coo.push_back(base, base + 1, 1.f);
+    coo.push_back(base + 1, base + 2, 2.f);
+    coo.push_back(base, base + 2, 3.f);
+  }
+  auto const gr = weighted_undirected(std::move(coo));
+  auto const bor = e::algorithms::boruvka_mst(e::execution::par, gr);
+  EXPECT_EQ(bor.num_trees, 2u);
+  EXPECT_EQ(bor.edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(bor.total_weight, 6.0);  // (1+2) per triangle
+}
+
+TEST(Mst, UniformWeightsStillFormSpanningTree) {
+  // All weights equal: any spanning tree is minimal; tie-break by edge id
+  // keeps Borůvka cycle-free.
+  auto const gr = weighted_undirected(e::generators::grid_2d(8, 8));
+  auto const bor = e::algorithms::boruvka_mst(e::execution::par, gr);
+  EXPECT_EQ(bor.num_trees, 1u);
+  EXPECT_EQ(bor.edges.size(), 63u);
+  EXPECT_TRUE(e::algorithms::is_valid_spanning_forest(gr, bor.edges,
+                                                      bor.num_trees));
+}
+
+TEST(Mst, LogarithmicRounds) {
+  auto const gr = weighted_undirected(
+      e::generators::erdos_renyi(1000, 8000, {0.1f, 5.0f}, 3));
+  auto const bor = e::algorithms::boruvka_mst(e::execution::par, gr);
+  EXPECT_LE(bor.rounds, 12u);  // O(log V) + the final no-hook round
+}
+
+TEST(Mst, MstWeightLowerBoundsAnySpanningTree) {
+  // The BFS parent tree is *a* spanning tree; the MST's weight must not
+  // exceed its edge-weight sum.
+  auto coo = e::generators::grid_2d(10, 10, {1.0f, 10.0f}, 5);
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  auto const mst = e::algorithms::boruvka_mst(e::execution::par, gr);
+  auto const bfs = e::algorithms::bfs_serial(gr, 0);
+  double bfs_tree_weight = 0.0;
+  for (vertex_t v = 1; v < gr.get_num_vertices(); ++v) {
+    vertex_t const p = bfs.parents[static_cast<std::size_t>(v)];
+    ASSERT_NE(p, -1);
+    for (auto const ed : gr.get_edges(p)) {
+      if (gr.get_dest_vertex(ed) == v) {
+        bfs_tree_weight += static_cast<double>(gr.get_edge_weight(ed));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(mst.num_trees, 1u);
+  EXPECT_LE(mst.total_weight, bfs_tree_weight + 1e-6);
+}

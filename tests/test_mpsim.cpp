@@ -1,0 +1,146 @@
+// Unit tests for the message-passing substrate (in-process ranks).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mpsim/communicator.hpp"
+
+namespace mp = essentials::mpsim;
+
+TEST(Communicator, SendRecvPointToPoint) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    if (rank == 0) {
+      comm.send(0, 1, /*tag=*/7, {1, 2, 3});
+    } else {
+      mp::message_t msg;
+      ASSERT_TRUE(comm.recv(1, 7, msg));
+      EXPECT_EQ(msg.source, 0);
+      EXPECT_EQ(msg.tag, 7);
+      EXPECT_EQ(msg.payload, (std::vector<std::uint64_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Communicator, TagFilteringDeliversMatchingMessageFirst) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    if (rank == 0) {
+      comm.send(0, 1, 1, {11});
+      comm.send(0, 1, 2, {22});
+    } else {
+      mp::message_t msg;
+      // Ask for tag 2 first even though tag 1 arrived first.
+      ASSERT_TRUE(comm.recv(1, 2, msg));
+      EXPECT_EQ(msg.payload.front(), 22u);
+      ASSERT_TRUE(comm.recv(1, 1, msg));
+      EXPECT_EQ(msg.payload.front(), 11u);
+    }
+  });
+}
+
+TEST(Communicator, WildcardTagMatchesAnything) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    if (rank == 0) {
+      comm.send(0, 1, 42, {5});
+    } else {
+      mp::message_t msg;
+      ASSERT_TRUE(comm.recv(1, -1, msg));
+      EXPECT_EQ(msg.tag, 42);
+    }
+  });
+}
+
+TEST(Communicator, TryRecvNonBlocking) {
+  mp::communicator comm(1);
+  mp::message_t msg;
+  EXPECT_FALSE(comm.try_recv(0, -1, msg));
+  comm.send(0, 0, 3, {9});  // self-send is an ordinary message
+  EXPECT_TRUE(comm.try_recv(0, 3, msg));
+  EXPECT_EQ(msg.payload.front(), 9u);
+}
+
+TEST(Communicator, BarrierSynchronizesAllRanks) {
+  // Phase counter: all ranks must observe every rank's phase-0 increment
+  // after the barrier.
+  std::atomic<int> phase0{0};
+  mp::communicator::run(4, [&phase0](mp::communicator& comm, int /*rank*/) {
+    phase0.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase0.load(), 4);
+  });
+}
+
+TEST(Communicator, BarrierIsReusable) {
+  std::atomic<int> counter{0};
+  mp::communicator::run(3, [&counter](mp::communicator& comm, int /*rank*/) {
+    for (int round = 0; round < 10; ++round) {
+      counter.fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(counter.load() % 3, 0) << "round " << round;
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Communicator, AllReduceSumsContributions) {
+  mp::communicator::run(4, [](mp::communicator& comm, int rank) {
+    auto const sum = comm.all_reduce_sum(rank, static_cast<std::uint64_t>(rank + 1));
+    EXPECT_EQ(sum, 10u);  // 1+2+3+4
+  });
+}
+
+TEST(Communicator, AllReduceIsReusableWithFreshValues) {
+  mp::communicator::run(2, [](mp::communicator& comm, int rank) {
+    for (std::uint64_t round = 1; round <= 5; ++round) {
+      auto const sum = comm.all_reduce_sum(rank, round);
+      EXPECT_EQ(sum, 2 * round);
+    }
+  });
+}
+
+TEST(Communicator, ExceptionInOneRankPropagatesAndUnblocksPeers) {
+  EXPECT_THROW(
+      mp::communicator::run(2,
+                            [](mp::communicator& comm, int rank) {
+                              if (rank == 0)
+                                throw std::runtime_error("rank 0 died");
+                              // Rank 1 blocks on a message that never comes;
+                              // shutdown must wake it.
+                              mp::message_t msg;
+                              EXPECT_FALSE(comm.recv(1, -1, msg));
+                            }),
+      std::runtime_error);
+}
+
+TEST(Communicator, MailboxSizeReflectsQueuedMessages) {
+  mp::communicator comm(2);
+  EXPECT_EQ(comm.mailbox_size(1), 0u);
+  comm.send(0, 1, 0, {});
+  comm.send(0, 1, 0, {});
+  EXPECT_EQ(comm.mailbox_size(1), 2u);
+}
+
+TEST(Communicator, BadRankThrows) {
+  mp::communicator comm(2);
+  EXPECT_THROW(comm.send(0, 5, 0, {}), essentials::graph_error);
+  mp::message_t msg;
+  EXPECT_THROW((void)comm.recv(-1, 0, msg), essentials::graph_error);
+}
+
+TEST(Communicator, ManyToOneGather) {
+  std::vector<std::uint64_t> gathered;
+  mp::communicator::run(4, [&gathered](mp::communicator& comm, int rank) {
+    if (rank != 0) {
+      comm.send(rank, 0, 1, {static_cast<std::uint64_t>(rank * 100)});
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        mp::message_t msg;
+        ASSERT_TRUE(comm.recv(0, 1, msg));
+        gathered.push_back(msg.payload.front());
+      }
+    }
+  });
+  std::sort(gathered.begin(), gathered.end());
+  EXPECT_EQ(gathered, (std::vector<std::uint64_t>{100, 200, 300}));
+}

@@ -1,0 +1,199 @@
+// Tests for the partitioning pillar: heuristics, quality metrics, and the
+// partitioned graph behind the unchanged top-level API.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/sssp.hpp"
+#include "core/execution.hpp"
+#include "generators/generators.hpp"
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "partition/partitioned_graph.hpp"
+
+namespace alg = essentials::algorithms;
+namespace ex = essentials::execution;
+namespace g = essentials::graph;
+namespace gen = essentials::generators;
+namespace pt = essentials::partition;
+using essentials::vertex_t;
+
+namespace {
+
+g::csr_t<> grid_csr() {
+  auto coo = gen::grid_2d(16, 16, {0.5f, 2.0f}, 3);
+  g::sort_and_deduplicate(coo);
+  return g::build_csr(coo);
+}
+
+}  // namespace
+
+// --- heuristics --------------------------------------------------------------
+
+TEST(Partition, RandomAssignsEveryVertexAPart) {
+  auto const p = pt::partition_random<vertex_t>(1000, 4, 7);
+  EXPECT_EQ(p.assignment.size(), 1000u);
+  std::set<int> parts(p.assignment.begin(), p.assignment.end());
+  for (int const part : parts) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 4);
+  }
+  EXPECT_EQ(parts.size(), 4u);  // all parts used at n=1000
+}
+
+TEST(Partition, RandomIsDeterministicPerSeed) {
+  auto const a = pt::partition_random<vertex_t>(100, 3, 5);
+  auto const b = pt::partition_random<vertex_t>(100, 3, 5);
+  auto const c = pt::partition_random<vertex_t>(100, 3, 6);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_NE(a.assignment, c.assignment);
+}
+
+TEST(Partition, BlockIsContiguousAndBalanced) {
+  auto const p = pt::partition_block<vertex_t>(100, 4);
+  EXPECT_EQ(p.assignment.front(), 0);
+  EXPECT_EQ(p.assignment.back(), 3);
+  for (std::size_t v = 1; v < 100; ++v)
+    EXPECT_GE(p.assignment[v], p.assignment[v - 1]);  // monotone
+  EXPECT_LE(pt::vertex_balance(p), 1.01);
+}
+
+TEST(Partition, GreedyEdgesBalancesEdgeLoad) {
+  // Star graph: the hub has all the edges; greedy must isolate it and the
+  // edge balance must beat the block partitioner's.
+  auto coo = gen::star(400);
+  g::sort_and_deduplicate(coo);
+  auto const csr = g::build_csr(coo);
+  auto const greedy = pt::partition_greedy_edges(csr, 4);
+  auto const block = pt::partition_block<vertex_t>(400, 4);
+  EXPECT_LT(pt::edge_balance(csr, greedy), pt::edge_balance(csr, block));
+}
+
+TEST(Partition, BfsGrowCoversAllVerticesWithBoundedImbalance) {
+  auto const csr = grid_csr();
+  auto const p = pt::partition_bfs_grow(csr, 4, 2);
+  for (int const a : p.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+  EXPECT_LE(pt::vertex_balance(p), 1.5);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  auto const csr = grid_csr();
+  auto const p = pt::partition_block<vertex_t>(csr.num_rows, 1);
+  EXPECT_EQ(pt::edge_cut(csr, p), 0u);
+  EXPECT_DOUBLE_EQ(pt::vertex_balance(p), 1.0);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(PartitionMetrics, EdgeCutCountsCrossEdges) {
+  // 4-cycle split in half: 0,1 | 2,3 -> cut edges (1,2),(2,1),(3,0),(0,3).
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(2, 3, 1.f);
+  coo.push_back(3, 0, 1.f);
+  g::symmetrize(coo);
+  g::sort_and_deduplicate(coo);
+  auto const csr = g::build_csr(coo);
+  pt::partition_t<vertex_t> p;
+  p.num_parts = 2;
+  p.assignment = {0, 0, 1, 1};
+  EXPECT_EQ(pt::edge_cut(csr, p), 4u);
+  EXPECT_DOUBLE_EQ(pt::edge_cut_fraction(csr, p), 0.5);
+}
+
+TEST(PartitionMetrics, LocalityAwareBeatsRandomOnMeshes) {
+  // The paper-motivating shape: on a mesh, BFS-grown regions cut far fewer
+  // edges than random assignment.
+  auto const csr = grid_csr();
+  auto const random = pt::partition_random<vertex_t>(csr.num_rows, 4, 1);
+  auto const grown = pt::partition_bfs_grow(csr, 4, 1);
+  EXPECT_LT(pt::edge_cut_fraction(csr, grown),
+            0.5 * pt::edge_cut_fraction(csr, random));
+}
+
+// --- partitioned graph ----------------------------------------------------------
+
+TEST(PartitionedGraph, SameApiSameAnswers) {
+  auto const csr = grid_csr();
+  g::graph_csr flat;
+  flat.set_csr(csr);
+  pt::partitioned_graph_t<> part(csr, pt::partition_random<vertex_t>(
+                                          csr.num_rows, 4, 9));
+
+  ASSERT_EQ(part.get_num_vertices(), flat.get_num_vertices());
+  ASSERT_EQ(part.get_num_edges(), flat.get_num_edges());
+  for (vertex_t v = 0; v < flat.get_num_vertices(); ++v) {
+    ASSERT_EQ(part.get_out_degree(v), flat.get_out_degree(v)) << v;
+    // Neighbor multiset (with weights) must match despite different edge-id
+    // spaces.
+    std::multiset<std::pair<vertex_t, float>> a, b;
+    for (auto const e : flat.get_edges(v))
+      a.emplace(flat.get_dest_vertex(e), flat.get_edge_weight(e));
+    for (auto const e : part.get_edges(v))
+      b.emplace(part.get_dest_vertex(e), part.get_edge_weight(e));
+    EXPECT_EQ(a, b) << "vertex " << v;
+  }
+}
+
+TEST(PartitionedGraph, OwnedVerticesPartitionTheVertexSet) {
+  auto const csr = grid_csr();
+  auto const p = pt::partition_bfs_grow(csr, 3, 4);
+  pt::partitioned_graph_t<> part(csr, p);
+  std::set<vertex_t> seen;
+  for (int k = 0; k < part.num_parts(); ++k)
+    for (vertex_t const v : part.owned_vertices(k)) {
+      EXPECT_EQ(p.assignment[static_cast<std::size_t>(v)], k);
+      EXPECT_TRUE(seen.insert(v).second) << "vertex owned twice: " << v;
+    }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(csr.num_rows));
+}
+
+TEST(PartitionedGraph, SsspRunsUnchangedOnPartitionedGraph) {
+  // The paper's §III-D punchline: algorithms written against the top-level
+  // API run on the partitioned representation without modification.
+  auto const csr = grid_csr();
+  g::graph_csr flat;
+  flat.set_csr(csr);
+  pt::partitioned_graph_t<> part(
+      csr, pt::partition_bfs_grow(csr, 4, 11));
+
+  auto const want = alg::dijkstra(flat, 0).distances;
+  auto const got = alg::sssp(ex::par, part, 0).distances;
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v)
+    EXPECT_NEAR(got[v], want[v], 1e-3) << v;
+}
+
+TEST(PartitionedGraph, BfsRunsUnchangedOnPartitionedGraph) {
+  auto const csr = grid_csr();
+  g::graph_csr flat;
+  flat.set_csr(csr);
+  pt::partitioned_graph_t<> part(csr,
+                                 pt::partition_random<vertex_t>(
+                                     csr.num_rows, 5, 2));
+  auto const want = alg::bfs_serial(flat, 7).depths;
+  auto const got = alg::bfs(ex::par, part, 7).depths;
+  EXPECT_EQ(got, want);
+}
+
+TEST(PartitionedGraph, MessagePassingSsspWithPartitionDerivedOwnership) {
+  // Close the loop: the partition drives rank ownership in the
+  // message-passing SSSP.
+  auto const csr = grid_csr();
+  g::graph_csr flat;
+  flat.set_csr(csr);
+  auto const p = pt::partition_bfs_grow(csr, 3, 8);
+  auto const want = alg::dijkstra(flat, 0).distances;
+  auto const got =
+      alg::sssp_message_passing(flat, 0, 3,
+                                [&p](vertex_t v) { return p.part_of(v); })
+          .distances;
+  for (std::size_t v = 0; v < want.size(); ++v)
+    EXPECT_NEAR(got[v], want[v], 1e-3) << v;
+}

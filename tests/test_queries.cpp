@@ -1,0 +1,279 @@
+// Tests for the query-style algorithms: A* point-to-point, personalized
+// PageRank (forward push), clustering coefficients — and the METIS reader
+// that feeds the partitioner family.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "algorithms/astar.hpp"
+#include "algorithms/clustering.hpp"
+#include "algorithms/personalized_pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::graph_csr weighted_grid(vertex_t rows, vertex_t cols, std::uint64_t seed) {
+  auto coo = e::generators::grid_2d(rows, cols, {1.0f, 5.0f}, seed);
+  return g::from_coo<g::graph_csr>(std::move(coo));
+}
+
+g::graph_full undirected(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  g::symmetrize(coo);
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+}  // namespace
+
+// --- A* ---------------------------------------------------------------------
+
+TEST(AStar, FindsOptimalDistanceOnGrid) {
+  auto const gr = weighted_grid(12, 12, 3);
+  vertex_t const target = 143;
+  auto const full = e::algorithms::dijkstra(gr, 0);
+  auto const h = e::algorithms::manhattan_heuristic<vertex_t, float>(
+      12, target, 1.0f);
+  auto const r = e::algorithms::astar(gr, 0, target, h);
+  EXPECT_NEAR(r.distance, full.distances[target], 1e-4f);
+}
+
+TEST(AStar, PathIsContiguousAndCostMatches) {
+  auto const gr = weighted_grid(8, 8, 7);
+  vertex_t const target = 63;
+  auto const h =
+      e::algorithms::manhattan_heuristic<vertex_t, float>(8, target, 1.0f);
+  auto const r = e::algorithms::astar(gr, 0, target, h);
+  ASSERT_GE(r.path.size(), 2u);
+  EXPECT_EQ(r.path.front(), 0);
+  EXPECT_EQ(r.path.back(), target);
+  float cost = 0.0f;
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    bool found = false;
+    for (auto const e2 : gr.get_edges(r.path[i - 1])) {
+      if (gr.get_dest_vertex(e2) == r.path[i]) {
+        cost += gr.get_edge_weight(e2);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "hop " << i << " is not an edge";
+  }
+  EXPECT_NEAR(cost, r.distance, 1e-4f);
+}
+
+TEST(AStar, HeuristicReducesSettledVertices) {
+  auto const gr = weighted_grid(40, 40, 1);
+  vertex_t const target = 40 * 40 - 1;
+  auto const blind = e::algorithms::dijkstra_point_to_point(gr, 0, target);
+  auto const informed = e::algorithms::astar(
+      gr, 0, target,
+      e::algorithms::manhattan_heuristic<vertex_t, float>(40, target, 1.0f));
+  EXPECT_NEAR(informed.distance, blind.distance, 1e-3f);
+  EXPECT_LT(informed.settled, blind.settled);
+}
+
+TEST(AStar, UnreachableTargetReportsInfinity) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.push_back(0, 1, 1.f);  // 2 unreachable
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  auto const r = e::algorithms::dijkstra_point_to_point(gr, 0, 2);
+  EXPECT_EQ(r.distance, e::infinity_v<float>);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(AStar, SourceEqualsTarget) {
+  auto const gr = weighted_grid(4, 4, 2);
+  auto const r = e::algorithms::dijkstra_point_to_point(gr, 5, 5);
+  EXPECT_FLOAT_EQ(r.distance, 0.0f);
+  EXPECT_EQ(r.path, (std::vector<vertex_t>{5}));
+}
+
+// --- personalized PageRank -----------------------------------------------------
+
+TEST(Ppr, MassIsConserved) {
+  auto coo = e::generators::erdos_renyi(300, 2400, {}, 5);
+  g::remove_self_loops(coo);
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  auto const r = e::algorithms::personalized_pagerank(gr, 0);
+  double const mass =
+      std::accumulate(r.estimate.begin(), r.estimate.end(), 0.0) +
+      std::accumulate(r.residual.begin(), r.residual.end(), 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Ppr, ResidualsRespectThreshold) {
+  auto coo = e::generators::erdos_renyi(300, 2400, {}, 6);
+  g::remove_self_loops(coo);
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  e::algorithms::ppr_options opt;
+  opt.epsilon = 1e-5;
+  auto const r = e::algorithms::personalized_pagerank(gr, 0, opt);
+  for (vertex_t v = 0; v < gr.get_num_vertices(); ++v) {
+    double const bound =
+        opt.epsilon *
+        std::max<double>(1.0, static_cast<double>(gr.get_out_degree(v)));
+    EXPECT_LE(r.residual[static_cast<std::size_t>(v)], bound + 1e-12) << v;
+  }
+}
+
+TEST(Ppr, LocalityAroundSource) {
+  // On a long chain, PPR mass must decay with distance from the source.
+  auto coo = e::generators::chain(50);
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo));
+  auto const r = e::algorithms::personalized_pagerank(gr, 10);
+  EXPECT_GT(r.estimate[10], r.estimate[12]);
+  EXPECT_GT(r.estimate[12], r.estimate[20]);
+  EXPECT_NEAR(r.estimate[5], 0.0, 1e-12);  // behind the source on a chain
+}
+
+TEST(Ppr, ApproximatesGlobalPagerankWhenSourceIsEveryone) {
+  // Sanity against the power-iteration PageRank: the top-1 vertex of a
+  // star graph's PPR from a spoke is the hub.
+  auto coo = e::generators::star(30);
+  auto const gr = undirected(std::move(coo));
+  auto const r = e::algorithms::personalized_pagerank(gr, 7);
+  vertex_t best = 0;
+  for (vertex_t v = 1; v < 30; ++v)
+    if (r.estimate[static_cast<std::size_t>(v)] >
+        r.estimate[static_cast<std::size_t>(best)])
+      best = v;
+  // Source keeps the most mass; hub is the runner-up above all other spokes.
+  EXPECT_TRUE(best == 7 || best == 0);
+  for (vertex_t v = 1; v < 30; ++v) {
+    if (v != 7) {
+      EXPECT_GE(r.estimate[0], r.estimate[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+// --- clustering ------------------------------------------------------------------
+
+TEST(Clustering, CompleteGraphIsFullyClustered) {
+  auto const gr = undirected(e::generators::complete(8));
+  auto const r = e::algorithms::clustering_coefficients(e::execution::par, gr);
+  EXPECT_NEAR(r.global, 1.0, 1e-12);
+  EXPECT_NEAR(r.average_local, 1.0, 1e-12);
+  for (double const c : r.local)
+    EXPECT_NEAR(c, 1.0, 1e-12);
+}
+
+TEST(Clustering, TreeHasZeroClustering) {
+  auto const gr = undirected(e::generators::star(20));
+  auto const r = e::algorithms::clustering_coefficients(e::execution::par, gr);
+  EXPECT_NEAR(r.global, 0.0, 1e-12);
+  EXPECT_NEAR(r.average_local, 0.0, 1e-12);
+}
+
+TEST(Clustering, TriangleWithTailKnownValues) {
+  // Triangle {0,1,2} plus pendant 3 attached to 2.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(2, 0, 1.f);
+  coo.push_back(2, 3, 1.f);
+  auto const gr = undirected(std::move(coo));
+  auto const r = e::algorithms::clustering_coefficients(e::execution::par, gr);
+  EXPECT_NEAR(r.local[0], 1.0, 1e-12);  // deg 2, 1 triangle
+  EXPECT_NEAR(r.local[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.local[2], 1.0 / 3.0, 1e-12);  // deg 3, 1 of 3 wedges closed
+  EXPECT_NEAR(r.local[3], 0.0, 1e-12);
+  // Global: closed wedge-ends 3 over total wedges 1 + 1 + 3 = 5.
+  EXPECT_NEAR(r.global, 3.0 / 5.0, 1e-12);
+}
+
+TEST(Clustering, MembershipMatchesTriangleCountTimesThree) {
+  auto const gr = undirected(e::generators::erdos_renyi(150, 1500, {}, 8));
+  auto const membership =
+      e::algorithms::triangles_per_vertex(e::execution::par, gr);
+  std::uint64_t total = 0;
+  for (auto const m : membership)
+    total += m;
+  EXPECT_EQ(total, 3 * e::algorithms::triangle_count(e::execution::par, gr));
+}
+
+TEST(Clustering, WattsStrogatzBeatsRandomGraph) {
+  // The defining small-world property: WS clustering >> ER clustering at
+  // equal density.
+  auto const ws = undirected(e::generators::watts_strogatz(500, 4, 0.05, {}, 4));
+  auto const er = undirected(e::generators::erdos_renyi(500, 2000, {}, 4));
+  auto const cw = e::algorithms::clustering_coefficients(e::execution::par, ws);
+  auto const ce = e::algorithms::clustering_coefficients(e::execution::par, er);
+  EXPECT_GT(cw.average_local, 3.0 * ce.average_local);
+}
+
+// --- METIS IO ---------------------------------------------------------------------
+
+TEST(Metis, ParsesPlainFormat) {
+  std::istringstream in(
+      "% tiny triangle plus pendant\n"
+      "4 4\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2 4\n"
+      "3\n");
+  auto const coo = e::io::read_metis(in);
+  EXPECT_EQ(coo.num_rows, 4);
+  EXPECT_EQ(coo.num_edges(), 8);  // both directions
+  auto const csr = g::build_csr(coo);
+  EXPECT_TRUE(g::is_symmetric(csr));
+}
+
+TEST(Metis, ParsesEdgeWeights) {
+  std::istringstream in(
+      "2 1 1\n"
+      "2 7.5\n"
+      "1 7.5\n");
+  auto const coo = e::io::read_metis(in);
+  ASSERT_EQ(coo.num_edges(), 2);
+  EXPECT_FLOAT_EQ(coo.values[0], 7.5f);
+}
+
+TEST(Metis, RejectsMalformed) {
+  std::istringstream bad_header("x y\n");
+  EXPECT_THROW(e::io::read_metis(bad_header), e::graph_error);
+  std::istringstream out_of_range("2 1\n5\n1\n");
+  EXPECT_THROW(e::io::read_metis(out_of_range), e::graph_error);
+  std::istringstream truncated("3 2\n2\n1\n");
+  EXPECT_THROW(e::io::read_metis(truncated), e::graph_error);
+  std::istringstream wrong_count("2 5\n2\n1\n");
+  EXPECT_THROW(e::io::read_metis(wrong_count), e::graph_error);
+}
+
+TEST(Metis, RoundTrip) {
+  auto coo = e::generators::watts_strogatz(60, 2, 0.1, {1.0f, 3.0f}, 9);
+  g::remove_self_loops(coo);
+  g::sort_and_deduplicate(coo);
+  // Make perfectly symmetric with matching weights for a clean round trip.
+  g::symmetrize(coo);
+  g::sort_and_deduplicate(coo, g::duplicate_policy::keep_min);
+
+  std::stringstream buf;
+  e::io::write_metis(buf, coo);
+  auto back = e::io::read_metis(buf);
+  g::sort_and_deduplicate(back);
+  EXPECT_EQ(back.row_indices, coo.row_indices);
+  EXPECT_EQ(back.column_indices, coo.column_indices);
+  for (std::size_t i = 0; i < coo.values.size(); ++i)
+    EXPECT_NEAR(back.values[i], coo.values[i], 1e-4f);
+}
+
+TEST(Metis, FeedsThePartitioner) {
+  // The pipeline the format exists for: read METIS graph -> partition ->
+  // measure cut.
+  auto grid = e::generators::grid_2d(12, 12);
+  g::sort_and_deduplicate(grid);
+  std::stringstream buf;
+  e::io::write_metis(buf, grid);
+  auto const coo = e::io::read_metis(buf);
+  auto const csr = g::build_csr(coo);
+  auto const p = e::partition::partition_bfs_grow(csr, 4, 1);
+  EXPECT_LT(e::partition::edge_cut_fraction(csr, p), 0.3);
+}

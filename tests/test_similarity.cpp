@@ -1,0 +1,188 @@
+// Tests for closeness centrality (MS-BFS-batched vs per-source oracle),
+// k-truss decomposition, and Jaccard similarity / link prediction.
+#include <gtest/gtest.h>
+
+#include "algorithms/closeness.hpp"
+#include "algorithms/jaccard.hpp"
+#include "algorithms/ktruss.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+namespace {
+
+g::graph_full undirected(g::coo_t<> coo) {
+  g::remove_self_loops(coo);
+  g::symmetrize(coo);
+  return g::from_coo<g::graph_full>(std::move(coo));
+}
+
+}  // namespace
+
+// --- closeness -----------------------------------------------------------------
+
+TEST(Closeness, BatchedMatchesPerSourceOracle) {
+  auto const gr = undirected(e::generators::erdos_renyi(150, 900, {}, 4));
+  auto const batched =
+      e::algorithms::closeness_centrality(e::execution::par, gr);
+  auto const oracle =
+      e::algorithms::closeness_centrality_serial(e::execution::par, gr);
+  ASSERT_EQ(batched.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v)
+    EXPECT_NEAR(batched[v], oracle[v], 1e-9) << v;
+}
+
+TEST(Closeness, StarHubIsMostCentral) {
+  auto const gr = undirected(e::generators::star(30));
+  auto const c = e::algorithms::closeness_centrality(e::execution::par, gr);
+  for (std::size_t v = 1; v < 30; ++v)
+    EXPECT_GT(c[0], c[v]);
+  // Hub: 29 neighbors at distance 1 -> closeness 29.
+  EXPECT_NEAR(c[0], 29.0, 1e-9);
+  // Spoke: 1 at distance 1, 28 at distance 2 -> 1 + 14.
+  EXPECT_NEAR(c[1], 15.0, 1e-9);
+}
+
+TEST(Closeness, PathEndpointsLeastCentral) {
+  auto const gr = undirected(e::generators::chain(11));
+  auto const c = e::algorithms::closeness_centrality(e::execution::par, gr);
+  for (std::size_t v = 1; v < 10; ++v)
+    EXPECT_GT(c[5], c[0] - 1e-12);
+  EXPECT_GT(c[5], c[0]);
+  EXPECT_NEAR(c[0], c[10], 1e-9);  // symmetric path
+}
+
+TEST(Closeness, MoreThan64VerticesUsesMultipleBatches) {
+  auto const gr = undirected(e::generators::watts_strogatz(200, 3, 0.1, {}, 2));
+  auto const batched =
+      e::algorithms::closeness_centrality(e::execution::par, gr);
+  auto const oracle =
+      e::algorithms::closeness_centrality_serial(e::execution::par, gr);
+  for (std::size_t v = 0; v < oracle.size(); ++v)
+    EXPECT_NEAR(batched[v], oracle[v], 1e-9) << v;
+}
+
+// --- k-truss -------------------------------------------------------------------
+
+TEST(KTruss, CliqueTrussnessIsN) {
+  // In K5 every edge closes 3 triangles: the 5-truss is the whole clique.
+  auto const gr = undirected(e::generators::complete(5));
+  auto const r = e::algorithms::ktruss(e::execution::par, gr);
+  EXPECT_EQ(r.max_truss, 5);
+  for (auto const& [edge, t] : r.trussness)
+    EXPECT_EQ(t, 5) << edge.first << "-" << edge.second;
+}
+
+TEST(KTruss, TreeEdgesHaveTrussnessTwo) {
+  auto const gr = undirected(e::generators::star(12));
+  auto const r = e::algorithms::ktruss(e::execution::par, gr);
+  EXPECT_EQ(r.max_truss, 2);
+  for (auto const& [edge, t] : r.trussness)
+    EXPECT_EQ(t, 2);
+}
+
+TEST(KTruss, TriangleWithTailSplitsLevels) {
+  // Triangle {0,1,2} + tail 2-3: triangle edges trussness 3, tail 2.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 1, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(0, 2, 1.f);
+  coo.push_back(2, 3, 1.f);
+  auto const gr = undirected(std::move(coo));
+  auto const r = e::algorithms::ktruss(e::execution::par, gr);
+  EXPECT_EQ(r.max_truss, 3);
+  EXPECT_EQ((r.trussness.at({0, 1})), 3);
+  EXPECT_EQ((r.trussness.at({0, 2})), 3);
+  EXPECT_EQ((r.trussness.at({1, 2})), 3);
+  EXPECT_EQ((r.trussness.at({2, 3})), 2);
+}
+
+TEST(KTruss, EveryLevelSatisfiesTheDefinition) {
+  auto const gr = undirected(e::generators::erdos_renyi(80, 800, {}, 6));
+  auto const r = e::algorithms::ktruss(e::execution::par, gr);
+  for (vertex_t k = 3; k <= r.max_truss; ++k)
+    EXPECT_TRUE(e::algorithms::is_valid_truss_level(r.trussness, k))
+        << "k=" << k;
+}
+
+TEST(KTruss, TrussnessUpperBoundsComeFromCoreness) {
+  // trussness(e) <= min(coreness(u), coreness(v)) + 1 — a standard
+  // relationship; check as a cross-algorithm invariant.
+  auto const gr = undirected(e::generators::watts_strogatz(100, 3, 0.2, {}, 3));
+  auto const truss = e::algorithms::ktruss(e::execution::par, gr);
+  auto const core = e::algorithms::kcore(e::execution::par, gr);
+  for (auto const& [edge, t] : truss.trussness) {
+    auto const bound =
+        std::min(core.coreness[static_cast<std::size_t>(edge.first)],
+                 core.coreness[static_cast<std::size_t>(edge.second)]) + 1;
+    EXPECT_LE(t, bound) << edge.first << "-" << edge.second;
+  }
+}
+
+// --- Jaccard -------------------------------------------------------------------
+
+TEST(Jaccard, KnownOverlaps) {
+  // 0 and 1 share neighbors {2, 3}; 0 also has 4, 1 also has 5.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 6;
+  for (vertex_t n : {2, 3, 4})
+    coo.push_back(0, n, 1.f);
+  for (vertex_t n : {2, 3, 5})
+    coo.push_back(1, n, 1.f);
+  auto const gr = undirected(std::move(coo));
+  // J(0,1) = |{2,3}| / |{2,3,4,5}| = 0.5
+  EXPECT_NEAR(e::algorithms::jaccard_similarity(gr, 0, 1), 0.5, 1e-12);
+}
+
+TEST(Jaccard, IdenticalNeighborhoodsScoreOne) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.push_back(0, 2, 1.f);
+  coo.push_back(0, 3, 1.f);
+  coo.push_back(1, 2, 1.f);
+  coo.push_back(1, 3, 1.f);
+  auto const gr = undirected(std::move(coo));
+  EXPECT_NEAR(e::algorithms::jaccard_similarity(gr, 0, 1), 1.0, 1e-12);
+}
+
+TEST(Jaccard, DisjointNeighborhoodsScoreZero) {
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 6;
+  coo.push_back(0, 2, 1.f);
+  coo.push_back(1, 3, 1.f);
+  auto const gr = undirected(std::move(coo));
+  EXPECT_NEAR(e::algorithms::jaccard_similarity(gr, 0, 1), 0.0, 1e-12);
+}
+
+TEST(Jaccard, EdgeScoresSeqMatchesPar) {
+  auto const gr = undirected(e::generators::erdos_renyi(120, 900, {}, 8));
+  auto const s = e::algorithms::jaccard_edge_scores(e::execution::seq, gr);
+  auto const p = e::algorithms::jaccard_edge_scores(e::execution::par, gr);
+  ASSERT_EQ(s.size(), p.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_DOUBLE_EQ(s[i], p[i]) << i;
+}
+
+TEST(Jaccard, LinkPredictionRanksTrianglesAboveRandomPairs) {
+  // In a clique minus one edge, the missing edge's endpoints share every
+  // other member: highest possible score.
+  auto coo = e::generators::complete(6);
+  // Remove edge (0, 1) both directions.
+  g::coo_t<> pruned;
+  pruned.num_rows = pruned.num_cols = 6;
+  for (std::size_t i = 0; i < coo.row_indices.size(); ++i) {
+    auto const u = coo.row_indices[i];
+    auto const v = coo.column_indices[i];
+    if ((u == 0 && v == 1) || (u == 1 && v == 0))
+      continue;
+    pruned.push_back(u, v, coo.values[i]);
+  }
+  auto const gr = g::from_coo<g::graph_full>(std::move(pruned));
+  auto const scores = e::algorithms::jaccard_link_scores(
+      e::execution::par, gr, {{0, 1}, {0, 5}});
+  EXPECT_NEAR(scores[0], 1.0, 1e-12);  // perfect overlap: predict the link
+  EXPECT_LT(scores[1], 1.0);           // existing-edge endpoints overlap less
+}

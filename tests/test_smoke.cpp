@@ -1,0 +1,40 @@
+// Smoke test: end-to-end Listing 4 on a tiny graph, exercising the whole
+// stack (generator -> builder -> graph_t -> operators -> enactor -> sssp).
+#include <gtest/gtest.h>
+
+#include "algorithms/sssp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+
+TEST(Smoke, SsspOnTinyGraph) {
+  // 0 -1-> 1 -1-> 2, 0 -5-> 2
+  e::graph::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.push_back(0, 1, 1.0f);
+  coo.push_back(1, 2, 1.0f);
+  coo.push_back(0, 2, 5.0f);
+  auto const g = e::graph::from_coo<e::graph::graph_csr>(std::move(coo));
+
+  auto const seq = e::algorithms::sssp(e::execution::seq, g, 0);
+  EXPECT_FLOAT_EQ(seq.distances[0], 0.0f);
+  EXPECT_FLOAT_EQ(seq.distances[1], 1.0f);
+  EXPECT_FLOAT_EQ(seq.distances[2], 2.0f);
+
+  auto const par = e::algorithms::sssp(e::execution::par, g, 0);
+  EXPECT_EQ(par.distances, seq.distances);
+
+  auto const oracle = e::algorithms::dijkstra(g, 0);
+  EXPECT_EQ(oracle.distances, seq.distances);
+}
+
+TEST(Smoke, RmatBuildsValidCsr) {
+  e::generators::rmat_options opt;
+  opt.scale = 8;
+  opt.edge_factor = 8;
+  auto coo = e::generators::rmat(opt);
+  auto const g = e::graph::from_coo<e::graph::graph_push_pull>(std::move(coo));
+  EXPECT_TRUE(e::graph::is_valid_csr(g.csr()));
+  EXPECT_EQ(g.get_num_vertices(), 256);
+  EXPECT_GT(g.get_num_edges(), 0);
+}

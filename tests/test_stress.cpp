@@ -1,0 +1,153 @@
+// Stress tests: larger workloads and heavier contention than the unit
+// suites — each still bounded to a couple of seconds so CI stays fast.
+// These exist to shake out races and termination bugs that small inputs
+// cannot expose (queue quiescence under churn, frontier appends under
+// contention, async SSSP on a graph with millions of relaxations).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/sssp.hpp"
+#include "essentials.hpp"
+
+namespace e = essentials;
+namespace g = e::graph;
+using e::vertex_t;
+
+TEST(Stress, AsyncSsspOnLargeRmatMatchesDijkstra) {
+  e::generators::rmat_options opt;
+  opt.scale = 13;
+  opt.edge_factor = 16;
+  opt.weights = {0.5f, 4.0f};
+  auto coo = e::generators::rmat(opt);
+  g::remove_self_loops(coo);
+  auto const gr = g::from_coo<g::graph_csr>(std::move(coo),
+                                            g::duplicate_policy::keep_min);
+  auto const want = e::algorithms::dijkstra(gr, 0).distances;
+  auto const got = e::algorithms::sssp_async(gr, 0, 8).distances;
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    if (want[v] == e::infinity_v<float>)
+      EXPECT_EQ(got[v], want[v]) << v;
+    else
+      EXPECT_NEAR(got[v], want[v], 1e-2f) << v;
+  }
+}
+
+TEST(Stress, MpmcQueueHeavyChurn) {
+  // 8 consumers, work items that fan out 3 ways down to a depth cap —
+  // ~3^9 ≈ 20k items with constant push/pop churn.
+  e::parallel::mpmc_queue<int> q;
+  q.push(0);
+  std::atomic<long long> processed{0};
+  auto const consumer = [&] {
+    int depth;
+    while (q.pop(depth)) {
+      if (depth < 9) {
+        q.push(depth + 1);
+        q.push(depth + 1);
+        q.push(depth + 1);
+      }
+      q.done_processing();
+      processed.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> crew;
+  for (int i = 0; i < 8; ++i)
+    crew.emplace_back(consumer);
+  for (auto& t : crew)
+    t.join();
+  // Total nodes of a full ternary tree of depth 9: (3^10 - 1) / 2 = 29524.
+  EXPECT_EQ(processed.load(), (59049LL - 1) / 2);
+  EXPECT_TRUE(q.is_quiescent());
+}
+
+TEST(Stress, SparseFrontierContendedAppends) {
+  e::frontier::sparse_frontier<vertex_t> f;
+  e::parallel::thread_pool pool(8);
+  constexpr std::size_t kPerLane = 50'000;
+  pool.run_blocked(8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t lane = lo; lane < hi; ++lane) {
+      std::vector<vertex_t> local;
+      for (std::size_t i = 0; i < kPerLane; ++i) {
+        if (i % 64 == 0) {
+          f.append_bulk(local.data(), local.size());
+          local.clear();
+        }
+        local.push_back(static_cast<vertex_t>(lane * kPerLane + i));
+      }
+      f.append_bulk(local.data(), local.size());
+    }
+  }, 1);
+  EXPECT_EQ(f.size(), 8 * kPerLane);
+  auto v = f.to_vector();
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  EXPECT_EQ(v.size(), 8 * kPerLane);  // no element lost or duplicated
+}
+
+TEST(Stress, DenseFrontierSaturation) {
+  constexpr std::size_t kUniverse = 1u << 20;
+  e::frontier::dense_frontier<vertex_t> f(kUniverse);
+  e::parallel::thread_pool pool(8);
+  // Every lane sets every bit: idempotence under maximal contention.
+  pool.run_blocked(8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t lane = lo; lane < hi; ++lane)
+      for (std::size_t v = lane; v < kUniverse; v += 1)
+        f.add_vertex(static_cast<vertex_t>(v));
+  }, 1);
+  EXPECT_EQ(f.size(), kUniverse);
+}
+
+TEST(Stress, BspAndAsyncBfsAgreeOnDeepGraph) {
+  // 40k-vertex chain with shortcut chords: deep BFS tree + re-relaxation
+  // pressure on the async variant.
+  g::coo_t<> coo;
+  coo.num_rows = coo.num_cols = 40'000;
+  for (vertex_t v = 0; v + 1 < 40'000; ++v)
+    coo.push_back(v, v + 1, 1.f);
+  for (vertex_t v = 0; v + 100 < 40'000; v += 97)
+    coo.push_back(v, v + 100, 1.f);
+  auto const gr = g::from_coo<g::graph_push_pull>(std::move(coo));
+  auto const serial = e::algorithms::bfs_serial(gr, 0).depths;
+  EXPECT_EQ(e::algorithms::bfs(e::execution::par, gr, 0).depths, serial);
+  EXPECT_EQ(e::algorithms::bfs_async(gr, 0, 8).depths, serial);
+}
+
+TEST(Stress, ManyConcurrentCommunicatorWorlds) {
+  // Several communicator worlds running collectives simultaneously must
+  // not interfere (no shared globals).
+  std::vector<std::thread> worlds;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    worlds.emplace_back([w, &failures] {
+      e::mpsim::communicator::run(3, [&](e::mpsim::communicator& comm,
+                                         int rank) {
+        for (int round = 0; round < 50; ++round) {
+          auto const sum = comm.all_reduce_sum(
+              rank, static_cast<std::uint64_t>(w + 1));
+          if (sum != 3u * static_cast<std::uint64_t>(w + 1))
+            failures.fetch_add(1);
+          comm.barrier();
+        }
+      });
+    });
+  }
+  for (auto& t : worlds)
+    t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Stress, RepeatedPoolConstructionIsCheapEnough) {
+  // Guards against descriptor/thread leaks in pool lifecycle.
+  for (int i = 0; i < 50; ++i) {
+    e::parallel::thread_pool pool(4);
+    std::atomic<int> n{0};
+    pool.run_blocked(100, [&n](std::size_t lo, std::size_t hi) {
+      n.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(n.load(), 100);
+  }
+}
