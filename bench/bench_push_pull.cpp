@@ -10,6 +10,10 @@
 // below shows it beating either fixed direction on the skewed graph.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "algorithms/bfs.hpp"
 #include "essentials.hpp"
 
@@ -127,4 +131,52 @@ BENCHMARK(BM_PagerankPush)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (replaces BENCHMARK_MAIN): after the timing run, capture one
+// telemetry trace per headline workload — push/pull advance at a sparse and
+// a dense operating point, plus whole-algorithm DO-BFS and PageRank — and
+// write them next to the timing output.  The traces carry exactly what the
+// timings cannot: edges inspected per direction and the DO-BFS direction
+// decisions.  CI uploads the JSON as an artifact.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto const& g = rmat_graph();
+  std::vector<e::telemetry::trace> traces;
+  auto const record = [&traces](std::string const& name, auto&& run) {
+    traces.emplace_back();
+    e::telemetry::scoped_recording rec(traces.back(), name);
+    run();
+  };
+  for (int const permille : {10, 500}) {
+    fr::sparse_frontier<e::vertex_t> sp;
+    activate(sp, g.get_num_vertices(), permille);
+    fr::dense_frontier<e::vertex_t> dn(
+        static_cast<std::size_t>(g.get_num_vertices()));
+    activate(dn, g.get_num_vertices(), permille);
+    record("advance_push@" + std::to_string(permille) + "permille",
+           [&] { op::advance_push(e::execution::par, g, sp, always); });
+    record("advance_pull@" + std::to_string(permille) + "permille",
+           [&] { op::advance_pull<true>(e::execution::par, g, dn, always); });
+  }
+  record("bfs_direction_optimizing", [&] {
+    e::algorithms::bfs_direction_optimizing(e::execution::par, g, 0);
+  });
+  record("pagerank.pull", [&] {
+    e::algorithms::pagerank_options opt;
+    opt.max_iterations = 5;
+    opt.tolerance = 0.0;
+    e::algorithms::pagerank(e::execution::par, g, opt);
+  });
+
+  char const* const path = "bench_push_pull.telemetry.json";
+  if (!e::telemetry::write_json(traces, path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::printf("telemetry: wrote %s (%zu traces)\n", path, traces.size());
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "mpsim/communicator.hpp"
 #include "parallel/atomic_bitset.hpp"
@@ -125,6 +126,8 @@ bfs_result<typename G::vertex_type> bfs_pull(P policy, G const& g,
       std::move(f),
       [&](frontier::dense_frontier<V> in, std::size_t iteration) {
         V const next_depth = static_cast<V>(iteration + 1);
+        if (auto* const rec = telemetry::current())
+          rec->set_direction(direction_t::pull, false, frontier::density(in));
         // In the pull scan each dst is handled by exactly one lane, so the
         // depth/parent writes need no atomics; the "unvisited" test makes
         // the advance skip settled vertices wholesale.
@@ -184,6 +187,7 @@ bfs_result<typename G::vertex_type> bfs_direction_optimizing(
   frontier::dense_frontier<V> dense(n);
   bool pulling = false;
 
+  telemetry::recorder* const rec = telemetry::current();
   std::size_t iteration = 0;
   std::size_t frontier_size = 1;
   while (frontier_size != 0) {
@@ -194,12 +198,24 @@ bfs_result<typename G::vertex_type> bfs_direction_optimizing(
     bool const want_pull = density > 1.0 / opt.alpha;
     bool const want_push = density < 1.0 / opt.beta;
 
+    bool switched = false;
     if (!pulling && want_pull) {
       dense = frontier::to_dense(sparse, n);
       pulling = true;
+      switched = true;
     } else if (pulling && want_push && !want_pull) {
       sparse = frontier::to_sparse(dense);
       pulling = false;
+      switched = true;
+    }
+
+    // Telemetry: one superstep per level, carrying the direction decision
+    // the Beamer heuristic just made and the density it was based on.
+    if (rec) {
+      rec->begin_superstep(frontier_size,
+                           pulling ? direction_t::pull : direction_t::push);
+      rec->set_direction(pulling ? direction_t::pull : direction_t::push,
+                         switched, density);
     }
 
     if (pulling) {
@@ -230,6 +246,8 @@ bfs_result<typename G::vertex_type> bfs_direction_optimizing(
           });
       frontier_size = sparse.size();
     }
+    if (rec)
+      rec->end_superstep(frontier_size);
     ++iteration;
   }
   result.iterations = iteration;

@@ -23,6 +23,7 @@
 #include "core/execution.hpp"
 #include "core/operators/compute.hpp"
 #include "core/operators/reduce.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "parallel/atomics.hpp"
 
@@ -56,7 +57,13 @@ pagerank_result<> pagerank(P policy, G const& g, pagerank_options opt = {}) {
   std::vector<double> next(n, 0.0);
   std::vector<double> out_contrib(n, 0.0);
 
+  // Fixed-point telemetry: every sweep touches all n vertices, so each
+  // superstep records frontier n -> n, direction pull, metric = L1 delta.
+  telemetry::recorder* const rec = telemetry::current();
+
   for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    if (rec)
+      rec->begin_superstep(n, direction_t::pull);
     // Precompute rank/out-degree, and pool dangling mass.
     double const dangling = operators::reduce_vertices(
         policy, g, 0.0,
@@ -91,6 +98,10 @@ pagerank_result<> pagerank(P policy, G const& g, pagerank_options opt = {}) {
     rank.swap(next);
     ++result.iterations;
     result.final_delta = delta;
+    if (rec) {
+      rec->set_metric(delta);
+      rec->end_superstep(n);
+    }
     if (delta < opt.tolerance)
       break;
   }
@@ -114,7 +125,11 @@ pagerank_result<> pagerank_push(P policy, G const& g,
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
 
+  telemetry::recorder* const rec = telemetry::current();
+
   for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    if (rec)
+      rec->begin_superstep(n, direction_t::push);
     double const dangling = operators::reduce_vertices(
         policy, g, 0.0,
         [&](V v) {
@@ -151,6 +166,10 @@ pagerank_result<> pagerank_push(P policy, G const& g,
     rank.swap(next);
     ++result.iterations;
     result.final_delta = delta;
+    if (rec) {
+      rec->set_metric(delta);
+      rec->end_superstep(n);
+    }
     if (delta < opt.tolerance)
       break;
   }

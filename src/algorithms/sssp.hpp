@@ -35,6 +35,7 @@
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
 #include "core/operators/filter.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "mpsim/communicator.hpp"
 #include "parallel/atomics.hpp"
@@ -136,6 +137,8 @@ sssp_result<typename G::weight_type> sssp_pull(
   auto const stats = enactor::bsp_loop(
       std::move(f),
       [&](frontier::dense_frontier<V> in, std::size_t /*iteration*/) {
+        if (auto* const rec = telemetry::current())
+          rec->set_direction(direction_t::pull, false, frontier::density(in));
         // Pull: dst relaxes itself through every active in-neighbor.  The
         // condition writes dist[dst] without atomics — in the pull scan,
         // vertex dst is processed by exactly one lane.

@@ -17,15 +17,25 @@
 ///    explicit condition closes the queue).
 ///
 /// Convergence conditions are small composable function objects; `either`
-/// composes them ("empty frontier OR iteration cap"), mirroring how real
-/// systems bound runaway algorithms.
+/// (binary) and `any_of` (variadic) compose them ("empty frontier OR
+/// iteration cap"), mirroring how real systems bound runaway algorithms.
+///
+/// Both drivers feed the telemetry layer (core/telemetry.hpp): when a
+/// `telemetry::scoped_recording` is active on the enacting thread,
+/// `bsp_loop` opens one superstep record per iteration (frontier sizes,
+/// wall time) and the operators invoked by the step fill in work counts.
+/// Without a recording scope — or with telemetry compiled out — the hooks
+/// are a folded-away null check.
 
+#include <chrono>
 #include <cstddef>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/frontier/frontier.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
 
 namespace essentials::enactor {
@@ -42,6 +52,10 @@ struct frontier_empty {
     return f.empty();
   }
 };
+
+/// Survey-flavoured spelling of the same condition (TLAV literature calls
+/// this "halt on empty frontier").
+using empty_frontier = frontier_empty;
 
 /// Converged after a fixed number of supersteps — the condition of
 /// fixed-point algorithms sampled for a bounded time (or a safety net).
@@ -82,14 +96,38 @@ struct either {
 template <typename A, typename B>
 either(A, B) -> either<A, B>;
 
+/// Variadic disjunction: converged when *any* of the conditions holds.
+/// Generalizes `either` to N conditions without nesting; `any_of{}` (zero
+/// conditions) never converges on its own — pair it with a frontier test.
+template <typename... Cs>
+struct any_of {
+  std::tuple<Cs...> conditions;
+
+  explicit any_of(Cs... cs) : conditions(std::move(cs)...) {}
+
+  template <typename F>
+  bool operator()(F const& f, std::size_t iteration) const {
+    return std::apply(
+        [&](Cs const&... c) { return (c(f, iteration) || ...); }, conditions);
+  }
+};
+
+template <typename... Cs>
+any_of(Cs...) -> any_of<Cs...>;
+
 // ---------------------------------------------------------------------------
 // BSP driver
 // ---------------------------------------------------------------------------
 
-/// Outcome telemetry of a loop run.
+/// Outcome summary of a loop run.  These are the always-on aggregates; the
+/// *full* per-superstep trace (frontier sizes, direction decisions, work
+/// counts, per-operator timings) is captured by the telemetry layer when a
+/// `telemetry::scoped_recording` is active — see core/telemetry.hpp.
 struct enact_stats {
   std::size_t iterations = 0;       ///< supersteps executed
   std::size_t total_processed = 0;  ///< sum of input-frontier sizes
+  std::size_t total_emitted = 0;    ///< sum of output-frontier sizes
+  double millis = 0.0;              ///< wall time of the whole loop
 };
 
 /// Bulk-synchronous iterative loop: starting from `frontier`, repeatedly
@@ -97,16 +135,32 @@ struct enact_stats {
 /// until `converged(frontier, iteration)` holds.  Convergence is tested
 /// *before* each superstep, so a converged initial frontier runs zero
 /// steps.
+///
+/// Telemetry invariant: with a recording scope active, exactly one
+/// superstep record is appended per executed iteration, with
+/// `frontier_in`/`frontier_out` matching the step's input/output sizes.
 template <typename FrontierT, typename StepF,
           typename ConvergedF = frontier_empty>
 enact_stats bsp_loop(FrontierT frontier, StepF step,
                      ConvergedF converged = {}) {
   enact_stats stats;
+  telemetry::recorder* const rec = telemetry::current();
+  auto const start = std::chrono::steady_clock::now();
   while (!converged(frontier, stats.iterations)) {
-    stats.total_processed += frontier.size();
+    std::size_t const in_size = frontier.size();
+    if (rec)
+      rec->begin_superstep(in_size);
+    stats.total_processed += in_size;
     frontier = step(std::move(frontier), stats.iterations);
     ++stats.iterations;
+    std::size_t const out_size = frontier.size();
+    stats.total_emitted += out_size;
+    if (rec)
+      rec->end_superstep(out_size);
   }
+  stats.millis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
   return stats;
 }
 
@@ -125,6 +179,7 @@ template <typename T, typename BodyF>
 std::size_t async_loop(frontier::async_queue_frontier<T>& f,
                        std::size_t num_workers, BodyF body) {
   expects(num_workers >= 1, "async_loop: need at least one worker");
+  auto const start = std::chrono::steady_clock::now();
   std::vector<std::thread> crew;
   crew.reserve(num_workers);
   std::vector<std::size_t> processed(num_workers, 0);
@@ -142,6 +197,20 @@ std::size_t async_loop(frontier::async_queue_frontier<T>& f,
   for (std::size_t w = 0; w < num_workers; ++w) {
     crew[w].join();
     total += processed[w];
+  }
+  // Asynchronous runs have no supersteps; the trace records the whole
+  // drain-to-quiescence phase as one op (items == activations processed).
+  if (telemetry::recorder* const rec = telemetry::current()) {
+    telemetry::op_record op;
+    op.name = "async_loop";
+    op.items_in = total;
+    op.items_out = total;
+    op.pool_lanes = num_workers;
+    op.async = true;
+    op.millis = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    rec->add_op(std::move(op));
   }
   return total;
 }

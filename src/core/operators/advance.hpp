@@ -24,14 +24,25 @@
 /// The parallel push overloads buffer output per lane and publish each
 /// buffer under a single short lock (CP.43) rather than Listing 3's
 /// per-element mutex; `neighbors_expand_listing3` preserves the paper's
-/// exact per-element-lock formulation for the ablation bench.
+/// exact per-element-lock formulation for the ablation bench (the lock now
+/// lives inside `sparse_frontier::add_vertex`, so even the baseline routes
+/// through the public frontier API).
+///
+/// Telemetry: every overload opens a `telemetry::op_probe` and counts
+/// *edges inspected* (condition evaluated) and *edges relaxed* (condition
+/// returned true) in lane-local registers, flushed per chunk.  With no
+/// recording scope active this costs one thread-local pointer test per
+/// call; with telemetry compiled out it costs nothing (the counters become
+/// dead stores).  The counts are defined so push and pull agree on a pure
+/// condition without early exit — the cross-direction invariant the
+/// differential suite (tests/test_differential.cpp) asserts.
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "parallel/for_each.hpp"
 
@@ -43,6 +54,7 @@ concept advance_condition =
     std::invocable<F, typename G::vertex_type, typename G::vertex_type,
                    typename G::edge_type, typename G::weight_type>;
 
+
 // ---------------------------------------------------------------------------
 // Push advance: sparse -> sparse
 // ---------------------------------------------------------------------------
@@ -51,18 +63,26 @@ concept advance_condition =
 template <typename G, typename Cond>
   requires advance_condition<Cond, G>
 frontier::sparse_frontier<typename G::vertex_type> advance_push(
-    execution::sequenced_policy, G const& g,
+    execution::sequenced_policy policy, G const& g,
     frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
+  auto const probe =
+      telemetry::make_probe("advance_push.seq", policy, in.size());
   frontier::sparse_frontier<V> out;
+  std::size_t inspected = 0, relaxed = 0;
   for (V const v : in.active()) {
     for (auto const e : g.get_edges(v)) {
       V const n = g.get_dest_vertex(e);
       auto const w = g.get_edge_weight(e);
-      if (cond(v, n, e, w))
+      ++inspected;
+      if (cond(v, n, e, w)) {
+        ++relaxed;
         out.add_vertex(n);
+      }
     }
   }
+  probe.add_edges(inspected, relaxed);
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -74,24 +94,30 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push(
     execution::parallel_policy policy, G const& g,
     frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
+  auto const probe =
+      telemetry::make_probe("advance_push.par", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
   policy.pool().run_blocked(
       active.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<V> local;
+        std::size_t inspected = 0;
         for (std::size_t i = lo; i < hi; ++i) {
           V const v = active[i];
           for (auto const e : g.get_edges(v)) {
             V const n = g.get_dest_vertex(e);
             auto const w = g.get_edge_weight(e);
+            ++inspected;
             if (cond(v, n, e, w))
               local.push_back(n);
           }
         }
         out.append_bulk(local.data(), local.size());
+        probe.add_edges(inspected, local.size());
       },
       policy.grain);
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -99,7 +125,9 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push(
 /// returns immediately; the caller synchronizes via
 /// `policy.pool().wait_idle()` (or not at all).  Output is appended to the
 /// caller-owned `out` frontier, whose thread-safe appends make concurrent
-/// chunks safe.
+/// chunks safe.  The telemetry record retires when the last chunk finishes
+/// (items_out is not sampled — the output is still owned by the caller);
+/// keep any recording scope alive across the eventual `wait_idle()`.
 template <typename G, typename Cond>
   requires advance_condition<Cond, G>
 void advance_push(execution::parallel_nosync_policy policy, G const& g,
@@ -107,26 +135,35 @@ void advance_push(execution::parallel_nosync_policy policy, G const& g,
                   Cond cond,
                   frontier::sparse_frontier<typename G::vertex_type>& out) {
   using V = typename G::vertex_type;
+  auto const probe = telemetry::make_probe("advance_push.par_nosync", policy,
+                                           in.size(), /*async=*/true);
+  auto const state = probe.share();  // null when not recording
   auto const& active = in.active();
   parallel::parallel_for_nowait(
       policy.pool(), std::size_t{0}, active.size(),
-      [&g, &active, &out, cond](std::size_t i) {
+      [&g, &active, &out, cond, state](std::size_t i) {
         V const v = active[i];
         std::vector<V> local;
+        std::size_t inspected = 0;
         for (auto const e : g.get_edges(v)) {
           V const n = g.get_dest_vertex(e);
           auto const w = g.get_edge_weight(e);
+          ++inspected;
           if (cond(v, n, e, w))
             local.push_back(n);
         }
         out.append_bulk(local.data(), local.size());
+        telemetry::flush_edges(state, inspected, local.size());
       },
       policy.grain);
 }
 
 /// Paper Listing 3, verbatim semantics: parallel push advance whose output
-/// appends take a mutex *per discovered neighbor*.  Kept as the baseline
-/// for the operator-ablation bench (bench_operators) that quantifies what
+/// appends are serialized *per discovered neighbor* — the lock is the one
+/// inside `sparse_frontier::add_vertex` (Listing 3's mutex-protected
+/// `output.add_vertex(n)`), so the baseline exercises the public frontier
+/// API rather than poking `active()` directly.  Kept as the baseline for
+/// the operator-ablation bench (bench_operators) that quantifies what
 /// lane-local buffering buys.
 template <typename G, typename Cond>
   requires advance_condition<Cond, G>
@@ -134,23 +171,28 @@ frontier::sparse_frontier<typename G::vertex_type> neighbors_expand_listing3(
     execution::parallel_policy policy, G const& g,
     frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
-  std::mutex m;
+  auto const probe =
+      telemetry::make_probe("neighbors_expand_listing3.par", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
   parallel::parallel_for(
       policy.pool(), std::size_t{0}, active.size(),
       [&](std::size_t i) {
         V const v = active[i];
+        std::size_t inspected = 0, relaxed = 0;
         for (auto const e : g.get_edges(v)) {
           V const n = g.get_dest_vertex(e);
           auto const w = g.get_edge_weight(e);
+          ++inspected;
           if (cond(v, n, e, w)) {
-            std::lock_guard<std::mutex> guard(m);
-            out.active().push_back(n);
+            ++relaxed;
+            out.add_vertex(n);  // per-element lock inside the frontier
           }
         }
+        probe.add_edges(inspected, relaxed);
       },
       policy.grain);
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -176,17 +218,24 @@ frontier::dense_frontier<typename G::vertex_type> advance_push_to_dense(
     P policy, G const& g,
     frontier::sparse_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
+  auto const probe =
+      telemetry::make_probe("advance_push_to_dense", policy, in.size());
   frontier::dense_frontier<V> out(
       static_cast<std::size_t>(g.get_num_vertices()));
   auto const& active = in.active();
   auto const body = [&](std::size_t i) {
     V const v = active[i];
+    std::size_t inspected = 0, relaxed = 0;
     for (auto const e : g.get_edges(v)) {
       V const n = g.get_dest_vertex(e);
       auto const w = g.get_edge_weight(e);
-      if (cond(v, n, e, w))
+      ++inspected;
+      if (cond(v, n, e, w)) {
+        ++relaxed;
         out.add_vertex(n);
+      }
     }
+    probe.add_edges(inspected, relaxed);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     parallel::parallel_for(policy.pool(), std::size_t{0}, active.size(), body,
@@ -195,6 +244,8 @@ frontier::dense_frontier<typename G::vertex_type> advance_push_to_dense(
     for (std::size_t i = 0; i < active.size(); ++i)
       body(i);
   }
+  if (probe)
+    probe.set_items_out(out.size());  // popcount: only pay when recording
   return out;
 }
 
@@ -205,10 +256,13 @@ frontier::dense_frontier<typename G::vertex_type> advance_push(
     P policy, G const& g,
     frontier::dense_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
+  auto const probe = telemetry::make_probe(
+      "advance_push.dense", policy, telemetry::probe_items(in));
   frontier::dense_frontier<V> out(in.universe());
   auto const& bits = in.bits();
   auto const word_body = [&](std::size_t wi) {
     std::uint64_t word = bits.load_word(wi);
+    std::size_t inspected = 0, relaxed = 0;
     while (word != 0) {
       unsigned const b = static_cast<unsigned>(__builtin_ctzll(word));
       word &= word - 1;
@@ -216,10 +270,14 @@ frontier::dense_frontier<typename G::vertex_type> advance_push(
       for (auto const e : g.get_edges(v)) {
         V const n = g.get_dest_vertex(e);
         auto const w = g.get_edge_weight(e);
-        if (cond(v, n, e, w))
+        ++inspected;
+        if (cond(v, n, e, w)) {
+          ++relaxed;
           out.add_vertex(n);
+        }
       }
     }
+    probe.add_edges(inspected, relaxed);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     parallel::parallel_for(policy.pool(), std::size_t{0}, bits.num_words(),
@@ -228,6 +286,8 @@ frontier::dense_frontier<typename G::vertex_type> advance_push(
     for (std::size_t wi = 0; wi < bits.num_words(); ++wi)
       word_body(wi);
   }
+  if (probe)
+    probe.set_items_out(out.size());
   return out;
 }
 
@@ -242,6 +302,14 @@ frontier::dense_frontier<typename G::vertex_type> advance_push(
 /// the first hit — correct for BFS-like "any parent" programs; keep false
 /// for programs that must see every incident active edge (e.g. pull SSSP
 /// relaxations).
+///
+/// Output invariant: a vertex is activated through the public frontier API
+/// exactly once, no matter how many of its in-edges relax — the condition
+/// is still evaluated for *every* active in-edge when `early_exit` is
+/// false (relaxation side effects must all run), but repeat hits no longer
+/// re-activate the output.  Telemetry `edges_inspected` counts only edges
+/// whose source is active (the membership probe is not an inspection), so
+/// the count is comparable with the push direction.
 template <bool early_exit = false, typename P, typename G, typename Cond>
   requires execution::synchronous_policy<P> && advance_condition<Cond, G> &&
            (G::has_csc)
@@ -250,20 +318,30 @@ frontier::dense_frontier<typename G::vertex_type> advance_pull(
     frontier::dense_frontier<typename G::vertex_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
   std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+  auto const probe =
+      telemetry::make_probe("advance_pull", policy, telemetry::probe_items(in));
   frontier::dense_frontier<V> out(n);
   auto const body = [&](std::size_t vi) {
     V const v = static_cast<V>(vi);
+    std::size_t inspected = 0, relaxed = 0;
+    bool added = false;
     for (auto const e : g.get_in_edges(v)) {
       V const u = g.get_in_source_vertex(e);
       if (!in.contains(u))
         continue;
       auto const w = g.get_in_edge_weight(e);
+      ++inspected;
       if (cond(u, v, e, w)) {
-        out.add_vertex(v);
+        ++relaxed;
+        if (!added) {
+          out.add_vertex(v);
+          added = true;
+        }
         if constexpr (early_exit)
           break;
       }
     }
+    probe.add_edges(inspected, relaxed);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     parallel::parallel_for(policy.pool(), std::size_t{0}, n, body,
@@ -272,6 +350,8 @@ frontier::dense_frontier<typename G::vertex_type> advance_pull(
     for (std::size_t vi = 0; vi < n; ++vi)
       body(vi);
   }
+  if (probe)
+    probe.set_items_out(out.size());
   return out;
 }
 
@@ -287,6 +367,7 @@ frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
     P policy, G const& g,
     frontier::sparse_frontier<typename G::vertex_type> const& in) {
   using E = typename G::edge_type;
+  auto const probe = telemetry::make_probe("expand_to_edges", policy, in.size());
   frontier::sparse_frontier<E> out;
   auto const& active = in.active();
   auto const body = [&](std::size_t lo, std::size_t hi) {
@@ -295,12 +376,14 @@ frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
       for (auto const e : g.get_edges(active[i]))
         local.push_back(e);
     out.append_bulk(local.data(), local.size());
+    probe.add_edges(local.size(), local.size());
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     policy.pool().run_blocked(active.size(), body, policy.grain);
   } else {
     body(0, active.size());
   }
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -313,6 +396,7 @@ frontier::sparse_frontier<typename G::vertex_type> advance_edges(
     P policy, G const& g,
     frontier::sparse_frontier<typename G::edge_type> const& in, Cond cond) {
   using V = typename G::vertex_type;
+  auto const probe = telemetry::make_probe("advance_edges", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
   auto const body = [&](std::size_t lo, std::size_t hi) {
@@ -326,12 +410,14 @@ frontier::sparse_frontier<typename G::vertex_type> advance_edges(
         local.push_back(dst);
     }
     out.append_bulk(local.data(), local.size());
+    probe.add_edges(hi - lo, local.size());
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     policy.pool().run_blocked(active.size(), body, policy.grain);
   } else {
     body(0, active.size());
   }
+  probe.set_items_out(out.size());
   return out;
 }
 

@@ -40,6 +40,8 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push_edge_balanced(
 
   auto const& active = in.active();
   std::size_t const f = active.size();
+  auto const probe =
+      telemetry::make_probe("advance_push_edge_balanced", policy, f);
   frontier::sparse_frontier<V> out;
   if (f == 0)
     return out;
@@ -89,13 +91,16 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push_edge_balanced(
           std::vector<V> local;
           process_range(lo, hi, local);
           out.append_bulk(local.data(), local.size());
+          probe.add_edges(hi - lo, local.size());
         },
         std::max<std::size_t>(policy.grain, 64));
   } else {
     std::vector<V> local;
     process_range(0, total_work, local);
     out.append_bulk(local.data(), local.size());
+    probe.add_edges(total_work, local.size());
   }
+  probe.set_items_out(out.size());
   return out;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
+#include "core/telemetry.hpp"
 #include "parallel/atomic_bitset.hpp"
 #include "parallel/for_each.hpp"
 
@@ -23,13 +24,15 @@ namespace essentials::operators {
 
 /// Sequential filter: reference semantics, preserves input order.
 template <typename T, typename Pred>
-frontier::sparse_frontier<T> filter(execution::sequenced_policy,
+frontier::sparse_frontier<T> filter(execution::sequenced_policy policy,
                                     frontier::sparse_frontier<T> const& in,
                                     Pred pred) {
+  auto const probe = telemetry::make_probe("filter.seq", policy, in.size());
   frontier::sparse_frontier<T> out;
   for (T const& v : in.active())
     if (pred(v))
       out.active().push_back(v);
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -39,6 +42,7 @@ template <typename T, typename Pred>
 frontier::sparse_frontier<T> filter(execution::parallel_policy policy,
                                     frontier::sparse_frontier<T> const& in,
                                     Pred pred) {
+  auto const probe = telemetry::make_probe("filter.par", policy, in.size());
   frontier::sparse_frontier<T> out;
   auto const& active = in.active();
   policy.pool().run_blocked(
@@ -51,6 +55,7 @@ frontier::sparse_frontier<T> filter(execution::parallel_policy policy,
         out.append_bulk(local.data(), local.size());
       },
       policy.grain);
+  probe.set_items_out(out.size());
   return out;
 }
 
@@ -61,6 +66,8 @@ template <typename P, typename T, typename Pred>
 frontier::dense_frontier<T> filter(P policy,
                                    frontier::dense_frontier<T> const& in,
                                    Pred pred) {
+  auto const probe = telemetry::make_probe("filter.dense", policy,
+                                           telemetry::probe_items(in));
   frontier::dense_frontier<T> out(in.universe());
   auto const copy_if = [&](T v) {
     if (pred(v))

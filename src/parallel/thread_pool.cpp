@@ -46,8 +46,15 @@ void thread_pool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();  // user exceptions terminate by design: a lost superstep chunk
              // would otherwise silently corrupt the algorithm's state.
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    // Destroy the callable *before* signaling idle: captured state (e.g. a
+    // par_nosync telemetry probe, shared_ptr-owned buffers) must be released
+    // by the time wait_idle() returns, or callers tearing down that state
+    // right after the barrier would race with this destructor.
+    task = nullptr;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
       all_idle_.notify_all();
   }

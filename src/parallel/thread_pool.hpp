@@ -79,6 +79,19 @@ class thread_pool {
     return pending_.load(std::memory_order_acquire);
   }
 
+  /// Instantaneous occupancy snapshot — the observability feed for the
+  /// telemetry layer (core/telemetry.hpp).  All fields are approximate
+  /// (relaxed reads): use for traces and dashboards, never synchronization.
+  struct occupancy {
+    std::size_t threads = 0;  ///< worker count (excludes the calling thread)
+    std::size_t queued = 0;   ///< tasks submitted and not yet finished
+    std::size_t busy = 0;     ///< workers currently executing a task
+  };
+  occupancy stats() const noexcept {
+    return {workers_.size(), pending_.load(std::memory_order_relaxed),
+            busy_.load(std::memory_order_relaxed)};
+  }
+
  private:
   void worker_loop();
 
@@ -88,6 +101,7 @@ class thread_pool {
   std::condition_variable has_work_;
   std::condition_variable all_idle_;
   std::atomic<std::size_t> pending_{0};  // queued + running tasks
+  std::atomic<std::size_t> busy_{0};     // workers inside task()
   bool stopping_ = false;
 };
 

@@ -1,13 +1,17 @@
-// Tests for the loop structure and convergence conditions.
+// Tests for the loop structure, convergence conditions (including the
+// composable combinators), and the telemetry trace the BSP driver emits.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <vector>
 
 #include "core/enactor.hpp"
 #include "core/frontier/frontier.hpp"
+#include "core/telemetry.hpp"
 
 namespace en = essentials::enactor;
 namespace fr = essentials::frontier;
+namespace tel = essentials::telemetry;
 using essentials::vertex_t;
 
 TEST(BspLoop, RunsUntilFrontierEmpty) {
@@ -79,6 +83,156 @@ TEST(BspLoop, IterationIndexIsPassedToStep) {
         return iteration == 2 ? fr::sparse_frontier<vertex_t>{} : in;
       });
   EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BspLoop, EmptyFrontierAliasNamesFrontierEmpty) {
+  static_assert(std::is_same_v<en::empty_frontier, en::frontier_empty>);
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(4, 0));
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        return fr::sparse_frontier<vertex_t>(
+            std::vector<vertex_t>(in.size() / 2, 0));
+      },
+      en::empty_frontier{});
+  EXPECT_EQ(stats.iterations, 3u);  // 4 -> 2 -> 1 -> 0
+}
+
+TEST(BspLoop, AnyOfComposesThreeConditions) {
+  // Frontier never empties and the metric never drops: only the iteration
+  // cap can fire, regardless of the other conditions in the bundle.
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) { return in; },
+      en::any_of{en::frontier_empty{},
+                 en::value_below{[]() { return 1.0; }, 0.5},
+                 en::max_iterations{5}});
+  EXPECT_EQ(stats.iterations, 5u);
+}
+
+TEST(BspLoop, AnyOfFirstHitWins) {
+  // The value condition converges before the cap.
+  double residual = 100.0;
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [&residual](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        residual /= 10.0;
+        return in;
+      },
+      en::any_of{en::max_iterations{50},
+                 en::value_below{[&residual]() { return residual; }, 0.5}});
+  EXPECT_EQ(stats.iterations, 3u);
+}
+
+TEST(BspLoop, StatsTrackEmittedAndWallTime) {
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(8, 0));
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        return fr::sparse_frontier<vertex_t>(
+            std::vector<vertex_t>(in.size() / 2, 0));
+      },
+      en::frontier_empty{});
+  EXPECT_EQ(stats.total_processed, 8u + 4 + 2 + 1);
+  EXPECT_EQ(stats.total_emitted, 4u + 2 + 1 + 0);
+  EXPECT_GE(stats.millis, 0.0);
+}
+
+// --- telemetry trace invariants --------------------------------------------
+
+TEST(BspLoopTelemetry, OneSuperstepRecordPerIteration) {
+  if (!tel::compiled_in)
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::trace t;
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(8, 0));
+  en::enact_stats stats;
+  {
+    tel::scoped_recording rec(t, "halving");
+    stats = en::bsp_loop(
+        std::move(f),
+        [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+          return fr::sparse_frontier<vertex_t>(
+              std::vector<vertex_t>(in.size() / 2, 0));
+        },
+        en::frontier_empty{});
+  }
+  EXPECT_EQ(t.algorithm, "halving");
+  ASSERT_EQ(t.num_supersteps(), stats.iterations);
+  // The frontier size sequence is captured exactly: in 8,4,2,1 / out 4,2,1,0,
+  // and each step's output is the next step's input.
+  std::size_t expect_in = 8;
+  for (std::size_t i = 0; i < t.supersteps.size(); ++i) {
+    auto const& s = t.supersteps[i];
+    EXPECT_EQ(s.index, i);
+    EXPECT_EQ(s.frontier_in, expect_in);
+    EXPECT_EQ(s.frontier_out, expect_in / 2);
+    EXPECT_GE(s.millis, 0.0);
+    expect_in /= 2;
+  }
+}
+
+TEST(BspLoopTelemetry, NoScopeRecordsNothing) {
+  // Without a scoped_recording the loop must leave no trace anywhere; this
+  // is the run-time null-sink path every un-instrumented caller takes.
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(4, 0));
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        return fr::sparse_frontier<vertex_t>(
+            std::vector<vertex_t>(in.size() / 2, 0));
+      },
+      en::frontier_empty{});
+  EXPECT_EQ(stats.iterations, 3u);
+  EXPECT_EQ(tel::current(), nullptr);
+}
+
+TEST(BspLoopTelemetry, NestedScopesRestoreOuterRecorder) {
+  if (!tel::compiled_in)
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::trace outer, inner;
+  auto const run = []() {
+    fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+    en::bsp_loop(
+        std::move(f),
+        [](fr::sparse_frontier<vertex_t>, std::size_t) {
+          return fr::sparse_frontier<vertex_t>{};
+        },
+        en::frontier_empty{});
+  };
+  {
+    tel::scoped_recording a(outer, "outer");
+    run();
+    {
+      tel::scoped_recording b(inner, "inner");
+      run();
+    }
+    run();  // records into the restored outer scope
+  }
+  EXPECT_EQ(outer.num_supersteps(), 2u);
+  EXPECT_EQ(inner.num_supersteps(), 1u);
+}
+
+TEST(AsyncLoopTelemetry, RecordsOneAsyncOpRecord) {
+  if (!tel::compiled_in)
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::trace t;
+  {
+    tel::scoped_recording rec(t, "async");
+    fr::async_queue_frontier<vertex_t> f;
+    for (vertex_t v = 0; v < 10; ++v)
+      f.add_vertex(v);
+    en::async_loop(f, 2, [](vertex_t) {});
+  }
+  ASSERT_EQ(t.num_supersteps(), 1u);
+  ASSERT_EQ(t.supersteps[0].ops.size(), 1u);
+  auto const& op = t.supersteps[0].ops[0];
+  EXPECT_EQ(op.name, "async_loop");
+  EXPECT_TRUE(op.async);
+  EXPECT_EQ(op.items_in, 10u);
+  EXPECT_EQ(op.items_out, 10u);
+  EXPECT_EQ(op.pool_lanes, 2u);
 }
 
 TEST(AsyncLoop, ProcessesDynamicallyGeneratedWork) {
