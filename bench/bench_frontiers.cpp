@@ -12,7 +12,14 @@
 // is a sizable fraction of the universe — and its O(1) membership is what
 // pull traversal buys with it.  The queue pays per-element synchronization,
 // and message passing pays per-superstep message assembly on top.
+//
+// The frontier-generation contention sweep (BM_FrontierGeneration/*)
+// additionally quantifies the publication-strategy axis: per-element
+// locking (Listing 3) vs chunk-bulk locking vs lock-free scan compaction,
+// at 1..8 threads.
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "core/frontier/frontier.hpp"
 #include "essentials.hpp"
@@ -125,6 +132,79 @@ void BM_MessagePassingFrontierExchange(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long long>(active.size()));
 }
+
+// --- frontier-generation contention sweep -----------------------------------
+//
+// Experiment for the communication pillar's scan-compaction claim: publish
+// 2^20 elements into a sparse frontier under the three generation
+// strategies, at 1..8 worker threads.  The workload is emission-bound (the
+// producer body does no other work), so this isolates publication cost:
+//  - listing3 (per-element spinlock) should *degrade* as threads are added
+//    (the lock serializes and coherence traffic grows);
+//  - bulk (one lock per chunk) should stay roughly flat;
+//  - scan (lane buffers + prefix-sum compaction) should scale with threads,
+//    since the output path takes no locks or atomics at all.
+// Throughput is items/sec — read the cross-strategy ratio at each thread
+// count.
+
+e::parallel::thread_pool& pool_with(std::size_t threads) {
+  // Pool of `threads` lanes total: the coordinating thread plus
+  // (threads - 1) workers, cached across benchmark iterations.
+  static std::vector<std::unique_ptr<e::parallel::thread_pool>> pools(9);
+  auto& slot = pools.at(threads);
+  if (!slot)
+    slot = std::make_unique<e::parallel::thread_pool>(threads - 1);
+  return *slot;
+}
+
+template <e::execution::frontier_gen Mode>
+void BM_FrontierGeneration(benchmark::State& state) {
+  std::size_t const n = 1u << 20;
+  std::size_t const threads = static_cast<std::size_t>(state.range(0));
+  auto& pool = pool_with(threads);
+  fr::sparse_frontier<e::vertex_t> out;
+  for (auto _ : state) {
+    fr::generate(
+        Mode, pool, n, e::execution::default_grain, out,
+        [](std::size_t lo, std::size_t hi, auto&& emit) {
+          for (std::size_t i = lo; i < hi; ++i)
+            emit(static_cast<e::vertex_t>(i));
+        });
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n));
+}
+
+void BM_FrontierGenerationScanDedup(benchmark::State& state) {
+  // Scan with the claim-bitmap filter on a 50%-duplicate stream: measures
+  // what dedup costs on top of lock-free publication.
+  std::size_t const n = 1u << 20;
+  std::size_t const threads = static_cast<std::size_t>(state.range(0));
+  auto& pool = pool_with(threads);
+  fr::sparse_frontier<e::vertex_t> out;
+  for (auto _ : state) {
+    fr::generate_scan(
+        pool, n, e::execution::default_grain, out,
+        [n](std::size_t lo, std::size_t hi, auto&& emit) {
+          for (std::size_t i = lo; i < hi; ++i)
+            emit(static_cast<e::vertex_t>(i % (n / 2)));
+        },
+        &fr::dedup_scratch(n));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n));
+}
+
+BENCHMARK(BM_FrontierGeneration<e::execution::frontier_gen::listing3>)
+    ->Name("BM_FrontierGeneration/listing3")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FrontierGeneration<e::execution::frontier_gen::bulk>)
+    ->Name("BM_FrontierGeneration/bulk")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FrontierGeneration<e::execution::frontier_gen::scan>)
+    ->Name("BM_FrontierGeneration/scan")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FrontierGenerationScanDedup)->Arg(1)->Arg(4)->Arg(8);
 
 BENCHMARK(BM_SparseFrontierBuildIterate)->RangeMultiplier(16)->Range(64, 1 << 20);
 BENCHMARK(BM_DenseFrontierBuildIterate)->RangeMultiplier(16)->Range(64, 1 << 20);

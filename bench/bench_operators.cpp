@@ -2,8 +2,9 @@
 // DESIGN.md calls out, anchored on paper Listing 3:
 //
 //  - per-discovery mutex (the literal Listing 3 formulation) vs lane-local
-//    buffers with bulk publication (our default) — what CP.43-style short
-//    critical sections buy inside an advance;
+//    buffers with bulk publication (the pre-scan default) vs lock-free
+//    scan compaction (the current default) — what short critical sections
+//    buy, and then what eliminating the lock entirely buys on top;
 //  - uniquify by sort vs by claim-bitmap — the frontier-dedup strategy
 //    trade (O(F log F) comparison sort vs O(F) + O(V) bitmap);
 //  - sparse-output vs dense-output advance — paying bitmap writes to get
@@ -11,6 +12,7 @@
 //  - exclusive_scan throughput — the load-balancing primitive.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <vector>
@@ -48,11 +50,34 @@ auto const always = [](e::vertex_t, e::vertex_t, e::edge_t, e::weight_t) {
   return true;
 };
 
-void BM_AdvanceBulkBuffered(benchmark::State& state) {
+void BM_AdvanceScanCompaction(benchmark::State& state) {
+  // The default: lane buffers + prefix-sum compaction, no locks on the
+  // output path.
   auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state)
     benchmark::DoNotOptimize(
         op::advance_push(e::execution::par, graph(), in, always).size());
+}
+
+void BM_AdvanceBulkBuffered(benchmark::State& state) {
+  // Ablation: lane-local buffers published under one spinlock per chunk
+  // (the pre-scan default), pinned explicitly now that `par` means scan.
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  auto const policy =
+      e::execution::par.with_frontier(e::execution::frontier_gen::bulk);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push(policy, graph(), in, always).size());
+}
+
+void BM_AdvanceScanDedup(benchmark::State& state) {
+  // Scan + claim-bitmap dedup: the output is a set; measures the bitmap's
+  // cost against BM_AdvanceScanCompaction's multiset output.
+  auto const in = frontier_of(static_cast<std::size_t>(state.range(0)));
+  auto const policy = e::execution::par.with_dedup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        op::advance_push(policy, graph(), in, always).size());
 }
 
 void BM_AdvanceListing3Mutex(benchmark::State& state) {
@@ -177,6 +202,10 @@ void BM_ExclusiveScan(benchmark::State& state) {
                           static_cast<long long>(n * sizeof(int)));
 }
 
+BENCHMARK(BM_AdvanceScanCompaction)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceScanDedup)->Arg(1 << 8)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdvanceBulkBuffered)->Arg(1 << 8)->Arg(1 << 12)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdvanceListing3Mutex)->Arg(1 << 8)->Arg(1 << 12)
@@ -199,7 +228,11 @@ BENCHMARK(BM_ExclusiveScan)->Arg(1 << 16)->Arg(1 << 22);
 // the headline advance workloads once under a telemetry recording and write
 // the traces next to the timing output — so every benchmark run leaves a
 // machine-readable record of the *work* (edges inspected/relaxed, pool
-// occupancy) behind the timings.  CI uploads the JSON as an artifact.
+// occupancy, lock-free vs locked emits) behind the timings.  A second
+// artifact, BENCH_frontier.json, reports edges/sec for the three
+// frontier-generation strategies on the largest seeded frontier (timed over
+// several repetitions, work counts from telemetry) — the headline
+// scan-vs-lock number CI uploads.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
@@ -214,8 +247,16 @@ int main(int argc, char** argv) {
     run();
   };
   auto const in = frontier_of(1 << 12);
-  record("advance_push.bulk_buffered", [&] {
+  record("advance_push.scan_compaction", [&] {
     op::advance_push(e::execution::par, graph(), in, always);
+  });
+  record("advance_push.scan_dedup", [&] {
+    op::advance_push(e::execution::par.with_dedup(), graph(), in, always);
+  });
+  record("advance_push.bulk_buffered", [&] {
+    op::advance_push(
+        e::execution::par.with_frontier(e::execution::frontier_gen::bulk),
+        graph(), in, always);
   });
   record("advance_push.listing3_mutex", [&] {
     op::neighbors_expand_listing3(e::execution::par, graph(), in, always);
@@ -233,5 +274,67 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("telemetry: wrote %s (%zu traces)\n", path, traces.size());
+
+  // --- BENCH_frontier.json: edges/sec, lock vs scan, largest frontier ------
+  struct strategy_result {
+    char const* name;
+    double edges_per_sec;
+    std::size_t edges;
+    std::size_t emits_scan;
+    std::size_t emits_lock;
+  };
+  std::vector<strategy_result> results;
+  auto const measure = [&](char const* name, auto&& policy) {
+    constexpr int reps = 10;
+    e::telemetry::trace t;
+    auto const t0 = std::chrono::steady_clock::now();
+    {
+      e::telemetry::scoped_recording rec(t, name);
+      for (int r = 0; r < reps; ++r)
+        benchmark::DoNotOptimize(
+            op::advance_push(policy, graph(), in, always).size());
+    }
+    auto const dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    results.push_back({name,
+                       dt > 0 ? static_cast<double>(t.total_edges_inspected()) / dt
+                              : 0.0,
+                       t.total_edges_inspected() / reps,
+                       t.total_emits_scan() / reps,
+                       t.total_emits_lock() / reps});
+  };
+  namespace ex = e::execution;
+  measure("scan", ex::par);
+  measure("bulk", ex::par.with_frontier(ex::frontier_gen::bulk));
+  measure("listing3", ex::par.with_frontier(ex::frontier_gen::listing3));
+
+  char const* const fpath = "BENCH_frontier.json";
+  if (std::FILE* f = std::fopen(fpath, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"frontier_generation\",\n"
+                 "  \"graph\": {\"kind\": \"rmat\", \"scale\": 12, "
+                 "\"edge_factor\": 16, \"vertices\": %lld, \"edges\": %lld},\n"
+                 "  \"frontier_size\": %zu,\n  \"strategies\": [\n",
+                 static_cast<long long>(graph().get_num_vertices()),
+                 static_cast<long long>(graph().get_num_edges()), in.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      auto const& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"edges_per_sec\": %.0f, "
+                   "\"edges_inspected\": %zu, \"emits_scan\": %zu, "
+                   "\"emits_lock\": %zu}%s\n",
+                   r.name, r.edges_per_sec, r.edges, r.emits_scan,
+                   r.emits_lock, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench: wrote %s\n", fpath);
+    for (auto const& r : results)
+      std::printf("  %-9s %12.0f edges/sec\n", r.name, r.edges_per_sec);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", fpath);
+    return 1;
+  }
   return 0;
 }

@@ -34,6 +34,39 @@
 
 namespace essentials::execution {
 
+/// How parallel operators publish discovered elements into a sparse output
+/// frontier — the "frontier as execution policy" knob (paper Table I):
+///
+///  - `scan`     — lock-free two-phase generation: workers emit into
+///                 cache-line-padded lane buffers, an exclusive prefix sum
+///                 over lane counts assigns each lane a disjoint slice of
+///                 the preallocated output, and lanes copy in with no locks
+///                 or atomics.  Deterministic output order.  The default.
+///  - `bulk`     — lane-local buffers published with one spinlock
+///                 acquisition per chunk (CP.43 short critical section) —
+///                 the pre-scan default, kept as an ablation baseline.
+///  - `listing3` — paper Listing 3 verbatim: every discovered element is
+///                 appended under the frontier's per-element lock.  The
+///                 ablation baseline that quantifies what buffering buys.
+///
+/// Asynchronous (`par_nosync`) operators have no superstep barrier to run
+/// the compaction phase behind, so `scan` degrades to `bulk` there —
+/// semantics are unchanged, only the publication cost differs.
+enum class frontier_gen : unsigned char { scan, bulk, listing3 };
+
+/// Grain heuristic, documented once here and applied by every advance-family
+/// operator: `grain` bounds scheduling overhead for *element-wise* bodies
+/// (compute/filter/reduce touch O(1) state per index, so 256 indices
+/// amortize a ~1µs dispatch).  Advance bodies do O(out-degree) work per
+/// index — with the zoo's mean degrees of 8–32, a grain of 256 vertices is
+/// 8–32× too coarse: small frontiers collapse to one or two chunks and
+/// leave the pool idle exactly when per-element work is heaviest.
+/// `edge_grain` (default 16) is the advance-family grain; override with
+/// `with_edge_grain` when a condition is unusually cheap or degrees are
+/// unusually small.
+inline constexpr std::size_t default_grain = 256;
+inline constexpr std::size_t default_edge_grain = 16;
+
 /// Sequential policy: run in the invoking thread.
 struct sequenced_policy {
   static constexpr bool is_parallel = false;
@@ -53,8 +86,45 @@ class parallel_policy {
     return pool_ ? *pool_ : parallel::default_pool();
   }
 
-  /// Grain size hint forwarded to parallel_for.
-  std::size_t grain = 256;
+  /// Grain size hint forwarded to parallel_for by element-wise operators.
+  std::size_t grain = default_grain;
+
+  /// Grain for advance-family operators (heavy per-element bodies); see the
+  /// heuristic note on `default_edge_grain`.
+  std::size_t edge_grain = default_edge_grain;
+
+  /// Sparse-frontier generation strategy (see `frontier_gen`).
+  frontier_gen frontier = frontier_gen::scan;
+
+  /// When true, advance suppresses duplicate vertices in sparse outputs via
+  /// an atomic claim bitmap over |V| — the output becomes a *set*.  Off by
+  /// default because Listing 3/4 semantics are a multiset; turn on for
+  /// BFS/SSSP-style programs where re-expansion of a vertex is pure waste
+  /// (frontiers otherwise grow super-linearly on high-degree graphs).
+  bool dedup = false;
+
+  // Builder-style copies, so the const `execution::par` instance composes:
+  //   auto p = execution::par.with_frontier(frontier_gen::bulk).with_dedup();
+  parallel_policy with_grain(std::size_t g) const {
+    auto p = *this;
+    p.grain = g;
+    return p;
+  }
+  parallel_policy with_edge_grain(std::size_t g) const {
+    auto p = *this;
+    p.edge_grain = g;
+    return p;
+  }
+  parallel_policy with_frontier(frontier_gen f) const {
+    auto p = *this;
+    p.frontier = f;
+    return p;
+  }
+  parallel_policy with_dedup(bool on = true) const {
+    auto p = *this;
+    p.dedup = on;
+    return p;
+  }
 
  private:
   parallel::thread_pool* pool_ = nullptr;
@@ -75,7 +145,33 @@ class parallel_nosync_policy {
     return pool_ ? *pool_ : parallel::default_pool();
   }
 
-  std::size_t grain = 256;
+  std::size_t grain = default_grain;
+  std::size_t edge_grain = default_edge_grain;
+
+  /// Publication strategy for the caller-owned output frontier.  `scan`
+  /// requires a barrier and therefore behaves as `bulk` here (documented
+  /// degradation); `listing3` is honored for ablations.
+  frontier_gen frontier = frontier_gen::scan;
+
+  /// Claim-bitmap dedup is not offered asynchronously: without a superstep
+  /// boundary there is no safe point to reset the bitmap, so duplicate
+  /// suppression belongs to the algorithm's own visited state.
+
+  parallel_nosync_policy with_grain(std::size_t g) const {
+    auto p = *this;
+    p.grain = g;
+    return p;
+  }
+  parallel_nosync_policy with_edge_grain(std::size_t g) const {
+    auto p = *this;
+    p.edge_grain = g;
+    return p;
+  }
+  parallel_nosync_policy with_frontier(frontier_gen f) const {
+    auto p = *this;
+    p.frontier = f;
+    return p;
+  }
 
  private:
   parallel::thread_pool* pool_ = nullptr;

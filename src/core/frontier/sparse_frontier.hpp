@@ -11,8 +11,13 @@
 ///    mutex-protected `output.add_vertex(n)`;
 ///  - `append_bulk(...)`: one lock per lane-local buffer, the optimization
 ///    operators use to keep the critical section short (CP.43).
+/// The default parallel generation path avoids the lock entirely: operators
+/// build the active vector out-of-band with lane buffers + prefix-sum
+/// compaction (core/frontier/frontier_gen.hpp) and install it via
+/// `active()` before any reader can observe the frontier.
 
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -34,9 +39,19 @@ class sparse_frontier {
   explicit sparse_frontier(std::vector<T> active)
       : active_(std::move(active)) {}
 
-  // The spinlock guards concurrent add/append only; copying or moving a
-  // frontier while producers are appending is a caller bug, so copies and
-  // moves transfer the active vector and start with a fresh (unlocked) lock.
+  // Concurrency contract (audited; regression-tested under TSAN in
+  // tests/test_frontier.cpp):
+  //  - `add_vertex` / `append_bulk` may race with each other and with
+  //    `clear()` and `swap()` — all four serialize on the spinlock, so a
+  //    producer draining into a frontier the enactor is recycling cannot
+  //    corrupt the vector.
+  //  - Copying or moving a frontier while producers are appending remains a
+  //    *caller bug*: copies/moves transfer the active vector without
+  //    touching the source's lock (locking here would only hide the logic
+  //    error — the copy would still contain an unpredictable prefix).  The
+  //    enactor/operators only copy between supersteps.
+  //  - Reads (`size`, `active()`, iteration) are unsynchronized by design:
+  //    readers run after the superstep barrier, never beside producers.
   sparse_frontier(sparse_frontier const& other) : active_(other.active_) {}
   sparse_frontier(sparse_frontier&& other) noexcept
       : active_(std::move(other.active_)) {}
@@ -71,7 +86,13 @@ class sparse_frontier {
 
   bool empty() const noexcept { return active_.empty(); }
 
-  void clear() noexcept { active_.clear(); }
+  /// Thread-safe versus concurrent add_vertex/append_bulk (a late
+  /// `par_nosync` producer may still be draining while the caller recycles
+  /// the frontier for the next superstep).
+  void clear() noexcept {
+    std::lock_guard<parallel::spinlock> guard(lock_);
+    active_.clear();
+  }
 
   void reserve(std::size_t n) { active_.reserve(n); }
 
@@ -106,7 +127,18 @@ class sparse_frontier {
   /// Materialize the active set (already a vector; returns a copy).
   std::vector<T> to_vector() const { return active_; }
 
+  /// Thread-safe versus concurrent appenders on either operand: both locks
+  /// are taken (address-ordered, so two concurrent swaps cannot deadlock)
+  /// before the storage exchange.
   friend void swap(sparse_frontier& a, sparse_frontier& b) noexcept {
+    if (&a == &b)
+      return;
+    sparse_frontier* first = &a;
+    sparse_frontier* second = &b;
+    if (std::less<sparse_frontier*>{}(second, first))
+      std::swap(first, second);
+    std::lock_guard<parallel::spinlock> g1(first->lock_);
+    std::lock_guard<parallel::spinlock> g2(second->lock_);
     std::swap(a.active_, b.active_);
   }
 

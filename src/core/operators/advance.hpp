@@ -21,21 +21,29 @@
 ///    predecessor satisfies the condition.
 ///  - representation: sparse -> sparse, sparse -> dense, dense -> dense.
 ///
-/// The parallel push overloads buffer output per lane and publish each
-/// buffer under a single short lock (CP.43) rather than Listing 3's
-/// per-element mutex; `neighbors_expand_listing3` preserves the paper's
-/// exact per-element-lock formulation for the ablation bench (the lock now
-/// lives inside `sparse_frontier::add_vertex`, so even the baseline routes
-/// through the public frontier API).
+/// Sparse-output generation is itself a policy axis
+/// (`execution::frontier_gen`, dispatched through
+/// core/frontier/frontier_gen.hpp):
+///  - `scan` (default): lane buffers + prefix-sum compaction — zero locks
+///    and zero atomics on the output path, deterministic output order;
+///  - `bulk`: lane-local buffer published under one short lock per chunk
+///    (CP.43) — the previous default, kept as an ablation baseline;
+///  - `listing3`: the paper's per-element-lock formulation
+///    (`neighbors_expand_listing3` forces this mode regardless of policy).
+/// `policy.dedup` additionally suppresses duplicate output vertices with an
+/// atomic claim bitmap (output becomes a set; condition side effects still
+/// run for every relaxing edge).
 ///
 /// Telemetry: every overload opens a `telemetry::op_probe` and counts
 /// *edges inspected* (condition evaluated) and *edges relaxed* (condition
-/// returned true) in lane-local registers, flushed per chunk.  With no
-/// recording scope active this costs one thread-local pointer test per
-/// call; with telemetry compiled out it costs nothing (the counters become
-/// dead stores).  The counts are defined so push and pull agree on a pure
-/// condition without early exit — the cross-direction invariant the
-/// differential suite (tests/test_differential.cpp) asserts.
+/// returned true) in lane-local registers, flushed per chunk; sparse
+/// generation additionally reports lock-free vs locked emit counts, dedup
+/// hits, and lane-scratch reuse.  With no recording scope active this
+/// costs one thread-local pointer test per call; with telemetry compiled
+/// out it costs nothing (the counters become dead stores).  The counts are
+/// defined so push and pull agree on a pure condition without early exit —
+/// the cross-direction invariant the differential suite
+/// (tests/test_differential.cpp) asserts.
 
 #include <cstddef>
 #include <vector>
@@ -44,6 +52,7 @@
 #include "core/frontier/frontier.hpp"
 #include "core/telemetry.hpp"
 #include "core/types.hpp"
+#include "parallel/atomic_bitset.hpp"
 #include "parallel/for_each.hpp"
 
 namespace essentials::operators {
@@ -54,6 +63,26 @@ concept advance_condition =
     std::invocable<F, typename G::vertex_type, typename G::vertex_type,
                    typename G::edge_type, typename G::weight_type>;
 
+namespace detail {
+
+/// The dedup claim bitmap for a parallel policy, or nullptr when dedup is
+/// off (thread-local scratch; cleared per call).
+inline parallel::atomic_bitset* dedup_filter(
+    execution::parallel_policy const& policy, std::size_t universe) {
+  return policy.dedup ? &frontier::dedup_scratch(universe) : nullptr;
+}
+
+/// Flush a generation round's stats into the operator probe.
+inline void flush_generate_stats(telemetry::op_probe const& probe,
+                                 execution::frontier_gen mode,
+                                 frontier::generate_stats const& stats) {
+  bool const lock_free = frontier::lock_free_emits(mode);
+  probe.add_emits(lock_free ? stats.emitted : 0,
+                  lock_free ? 0 : stats.emitted, stats.dedup_hits);
+  probe.set_scratch_reused(stats.scratch_reused);
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Push advance: sparse -> sparse
@@ -86,8 +115,10 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push(
   return out;
 }
 
-/// Parallel synchronous push advance (one BSP superstep).  Lane-local
-/// output buffers are flushed with one bulk append per chunk.
+/// Parallel synchronous push advance (one BSP superstep).  The sparse
+/// output is generated per `policy.frontier`: scan compaction (default,
+/// lock-free), bulk append (one lock per chunk), or Listing 3 per-element
+/// locking — with optional claim-bitmap dedup (`policy.dedup`).
 template <typename G, typename Cond>
   requires advance_condition<Cond, G>
 frontier::sparse_frontier<typename G::vertex_type> advance_push(
@@ -98,25 +129,28 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push(
       telemetry::make_probe("advance_push.par", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
-  policy.pool().run_blocked(
-      active.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        std::vector<V> local;
-        std::size_t inspected = 0;
+  parallel::atomic_bitset* const dedup = detail::dedup_filter(
+      policy, static_cast<std::size_t>(g.get_num_vertices()));
+  auto const stats = frontier::generate(
+      policy.frontier, policy.pool(), active.size(), policy.edge_grain, out,
+      [&](std::size_t lo, std::size_t hi, auto&& emit) {
+        std::size_t inspected = 0, relaxed = 0;
         for (std::size_t i = lo; i < hi; ++i) {
           V const v = active[i];
           for (auto const e : g.get_edges(v)) {
             V const n = g.get_dest_vertex(e);
             auto const w = g.get_edge_weight(e);
             ++inspected;
-            if (cond(v, n, e, w))
-              local.push_back(n);
+            if (cond(v, n, e, w)) {
+              ++relaxed;
+              emit(n);
+            }
           }
         }
-        out.append_bulk(local.data(), local.size());
-        probe.add_edges(inspected, local.size());
+        probe.add_edges(inspected, relaxed);
       },
-      policy.grain);
+      dedup);
+  detail::flush_generate_stats(probe, policy.frontier, stats);
   probe.set_items_out(out.size());
   return out;
 }
@@ -124,8 +158,10 @@ frontier::sparse_frontier<typename G::vertex_type> advance_push(
 /// Parallel asynchronous push advance: chunks are launched and the call
 /// returns immediately; the caller synchronizes via
 /// `policy.pool().wait_idle()` (or not at all).  Output is appended to the
-/// caller-owned `out` frontier, whose thread-safe appends make concurrent
-/// chunks safe.  The telemetry record retires when the last chunk finishes
+/// caller-owned `out` frontier.  There is no barrier behind which to run a
+/// compaction phase, so `frontier_gen::scan` degrades to `bulk` (lane
+/// buffer + one locked append per task); `listing3` is honored for
+/// ablations.  The telemetry record retires when the last chunk finishes
 /// (items_out is not sampled — the output is still owned by the caller);
 /// keep any recording scope alive across the eventual `wait_idle()`.
 template <typename G, typename Cond>
@@ -139,32 +175,43 @@ void advance_push(execution::parallel_nosync_policy policy, G const& g,
                                            in.size(), /*async=*/true);
   auto const state = probe.share();  // null when not recording
   auto const& active = in.active();
+  bool const per_element =
+      policy.frontier == execution::frontier_gen::listing3;
   parallel::parallel_for_nowait(
       policy.pool(), std::size_t{0}, active.size(),
-      [&g, &active, &out, cond, state](std::size_t i) {
+      [&g, &active, &out, cond, state, per_element](std::size_t i) {
         V const v = active[i];
         std::vector<V> local;
-        std::size_t inspected = 0;
+        std::size_t inspected = 0, relaxed = 0;
         for (auto const e : g.get_edges(v)) {
           V const n = g.get_dest_vertex(e);
           auto const w = g.get_edge_weight(e);
           ++inspected;
-          if (cond(v, n, e, w))
-            local.push_back(n);
+          if (cond(v, n, e, w)) {
+            ++relaxed;
+            if (per_element)
+              out.add_vertex(n);  // per-element lock inside the frontier
+            else
+              local.push_back(n);
+          }
         }
-        out.append_bulk(local.data(), local.size());
-        telemetry::flush_edges(state, inspected, local.size());
+        if (!per_element)
+          out.append_bulk(local.data(), local.size());
+        telemetry::flush_edges(state, inspected, relaxed);
+        telemetry::flush_emits(state, 0, relaxed);
       },
-      policy.grain);
+      policy.edge_grain);
 }
 
 /// Paper Listing 3, verbatim semantics: parallel push advance whose output
 /// appends are serialized *per discovered neighbor* — the lock is the one
 /// inside `sparse_frontier::add_vertex` (Listing 3's mutex-protected
 /// `output.add_vertex(n)`), so the baseline exercises the public frontier
-/// API rather than poking `active()` directly.  Kept as the baseline for
-/// the operator-ablation bench (bench_operators) that quantifies what
-/// lane-local buffering buys.
+/// API rather than poking `active()` directly.  Equivalent to
+/// `advance_push(policy.with_frontier(frontier_gen::listing3), ...)`; kept
+/// as a named entry point for the operator-ablation bench
+/// (bench_operators) that quantifies what buffering and scan compaction
+/// buy.
 template <typename G, typename Cond>
   requires advance_condition<Cond, G>
 frontier::sparse_frontier<typename G::vertex_type> neighbors_expand_listing3(
@@ -175,23 +222,29 @@ frontier::sparse_frontier<typename G::vertex_type> neighbors_expand_listing3(
       telemetry::make_probe("neighbors_expand_listing3.par", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
-  parallel::parallel_for(
-      policy.pool(), std::size_t{0}, active.size(),
-      [&](std::size_t i) {
-        V const v = active[i];
+  parallel::atomic_bitset* const dedup = detail::dedup_filter(
+      policy, static_cast<std::size_t>(g.get_num_vertices()));
+  auto const stats = frontier::generate_listing3(
+      policy.pool(), active.size(), policy.edge_grain, out,
+      [&](std::size_t lo, std::size_t hi, auto&& emit) {
         std::size_t inspected = 0, relaxed = 0;
-        for (auto const e : g.get_edges(v)) {
-          V const n = g.get_dest_vertex(e);
-          auto const w = g.get_edge_weight(e);
-          ++inspected;
-          if (cond(v, n, e, w)) {
-            ++relaxed;
-            out.add_vertex(n);  // per-element lock inside the frontier
+        for (std::size_t i = lo; i < hi; ++i) {
+          V const v = active[i];
+          for (auto const e : g.get_edges(v)) {
+            V const n = g.get_dest_vertex(e);
+            auto const w = g.get_edge_weight(e);
+            ++inspected;
+            if (cond(v, n, e, w)) {
+              ++relaxed;
+              emit(n);
+            }
           }
         }
         probe.add_edges(inspected, relaxed);
       },
-      policy.grain);
+      dedup);
+  detail::flush_generate_stats(probe, execution::frontier_gen::listing3,
+                               stats);
   probe.set_items_out(out.size());
   return out;
 }
@@ -239,7 +292,7 @@ frontier::dense_frontier<typename G::vertex_type> advance_push_to_dense(
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     parallel::parallel_for(policy.pool(), std::size_t{0}, active.size(), body,
-                           policy.grain);
+                           policy.edge_grain);
   } else {
     for (std::size_t i = 0; i < active.size(); ++i)
       body(i);
@@ -280,8 +333,11 @@ frontier::dense_frontier<typename G::vertex_type> advance_push(
     probe.add_edges(inspected, relaxed);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
+    // One word covers 64 vertices, so the per-word grain divides the
+    // (already edge-weighted) advance grain by 64, floored at 1.
     parallel::parallel_for(policy.pool(), std::size_t{0}, bits.num_words(),
-                           word_body, std::max<std::size_t>(policy.grain / 64, 1));
+                           word_body,
+                           std::max<std::size_t>(policy.edge_grain / 64, 1));
   } else {
     for (std::size_t wi = 0; wi < bits.num_words(); ++wi)
       word_body(wi);
@@ -345,7 +401,7 @@ frontier::dense_frontier<typename G::vertex_type> advance_pull(
   };
   if constexpr (std::decay_t<P>::is_parallel) {
     parallel::parallel_for(policy.pool(), std::size_t{0}, n, body,
-                           policy.grain);
+                           policy.edge_grain);
   } else {
     for (std::size_t vi = 0; vi < n; ++vi)
       body(vi);
@@ -361,6 +417,8 @@ frontier::dense_frontier<typename G::vertex_type> advance_pull(
 
 /// Expand a vertex frontier into the frontier of its incident out-edge ids
 /// (vertex-centric -> edge-centric handoff, paper §III-C's edge frontier).
+/// Parallel policies route through the policy's frontier-generation
+/// strategy (edge ids are unique by construction, so dedup never applies).
 template <typename P, typename G>
   requires execution::synchronous_policy<P>
 frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
@@ -370,18 +428,23 @@ frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
   auto const probe = telemetry::make_probe("expand_to_edges", policy, in.size());
   frontier::sparse_frontier<E> out;
   auto const& active = in.active();
-  auto const body = [&](std::size_t lo, std::size_t hi) {
-    std::vector<E> local;
+  auto const chunk = [&](std::size_t lo, std::size_t hi, auto&& emit) {
+    std::size_t count = 0;
     for (std::size_t i = lo; i < hi; ++i)
-      for (auto const e : g.get_edges(active[i]))
-        local.push_back(e);
-    out.append_bulk(local.data(), local.size());
-    probe.add_edges(local.size(), local.size());
+      for (auto const e : g.get_edges(active[i])) {
+        emit(e);
+        ++count;
+      }
+    probe.add_edges(count, count);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
-    policy.pool().run_blocked(active.size(), body, policy.grain);
+    auto const stats =
+        frontier::generate(policy.frontier, policy.pool(), active.size(),
+                           policy.edge_grain, out, chunk);
+    detail::flush_generate_stats(probe, policy.frontier, stats);
   } else {
-    body(0, active.size());
+    auto emit = [&out](E e) { out.active().push_back(e); };
+    chunk(0, active.size(), emit);
   }
   probe.set_items_out(out.size());
   return out;
@@ -390,6 +453,8 @@ frontier::sparse_frontier<typename G::edge_type> expand_to_edges(
 /// Edge-centric advance: the input frontier holds CSR edge ids; the
 /// condition sees the usual {src, dst, edge, weight} tuple and a true
 /// return contributes the edge's destination vertex to the output.
+/// Parallel policies route through the policy's frontier-generation
+/// strategy and honor `policy.dedup`.
 template <typename P, typename G, typename Cond>
   requires execution::synchronous_policy<P> && advance_condition<Cond, G>
 frontier::sparse_frontier<typename G::vertex_type> advance_edges(
@@ -399,23 +464,31 @@ frontier::sparse_frontier<typename G::vertex_type> advance_edges(
   auto const probe = telemetry::make_probe("advance_edges", policy, in.size());
   frontier::sparse_frontier<V> out;
   auto const& active = in.active();
-  auto const body = [&](std::size_t lo, std::size_t hi) {
-    std::vector<V> local;
+  auto const chunk = [&](std::size_t lo, std::size_t hi, auto&& emit) {
+    std::size_t relaxed = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       auto const e = active[i];
       V const src = g.get_source_vertex(e);
       V const dst = g.get_dest_vertex(e);
       auto const w = g.get_edge_weight(e);
-      if (cond(src, dst, e, w))
-        local.push_back(dst);
+      if (cond(src, dst, e, w)) {
+        emit(dst);
+        ++relaxed;
+      }
     }
-    out.append_bulk(local.data(), local.size());
-    probe.add_edges(hi - lo, local.size());
+    probe.add_edges(hi - lo, relaxed);
   };
   if constexpr (std::decay_t<P>::is_parallel) {
-    policy.pool().run_blocked(active.size(), body, policy.grain);
+    parallel::atomic_bitset* const dedup = detail::dedup_filter(
+        policy, static_cast<std::size_t>(g.get_num_vertices()));
+    // Edge-centric bodies do O(1) work per index: use the element grain.
+    auto const stats =
+        frontier::generate(policy.frontier, policy.pool(), active.size(),
+                           policy.grain, out, chunk, dedup);
+    detail::flush_generate_stats(probe, policy.frontier, stats);
   } else {
-    body(0, active.size());
+    auto emit = [&out](V v) { out.active().push_back(v); };
+    chunk(0, active.size(), emit);
   }
   probe.set_items_out(out.size());
   return out;

@@ -9,6 +9,15 @@
 /// graph with shared neighbors emits duplicates; BFS/SSSP pipelines
 /// typically run `advance → uniquify` or fold the dedupe into the condition
 /// via a claim bitmap.  All overloads are policy-disambiguated like advance.
+///
+/// Sparse outputs are published through the policy's frontier-generation
+/// strategy (`execution::frontier_gen`, see core/frontier/frontier_gen.hpp):
+/// the default scan path compacts lane buffers with a prefix sum — no locks
+/// on the output path — while `bulk`/`listing3` reproduce the historical
+/// locked paths for ablations.  `filter` ignores `policy.dedup` (it has no
+/// id universe to size a claim bitmap over; run `uniquify` for that), and
+/// `uniquify` *is* the dedup filter: its claim bitmap rides the generation
+/// path's dedup hook, so all three strategies produce the same set.
 
 #include <algorithm>
 #include <cstddef>
@@ -16,6 +25,7 @@
 
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
 #include "core/telemetry.hpp"
 #include "parallel/atomic_bitset.hpp"
 #include "parallel/for_each.hpp"
@@ -36,8 +46,11 @@ frontier::sparse_frontier<T> filter(execution::sequenced_policy policy,
   return out;
 }
 
-/// Parallel synchronous filter; output order is deterministic per chunk but
-/// chunk publication order is not (frontier order is semantically a set).
+/// Parallel synchronous filter.  Publication follows `policy.frontier`: the
+/// default scan path yields a deterministic, input-ordered output (chunk
+/// boundaries are fixed by the pool's chunking contract); the `bulk` and
+/// `listing3` ablations publish under locks in racy chunk order (frontier
+/// order is semantically a set either way).
 template <typename T, typename Pred>
 frontier::sparse_frontier<T> filter(execution::parallel_policy policy,
                                     frontier::sparse_frontier<T> const& in,
@@ -45,16 +58,14 @@ frontier::sparse_frontier<T> filter(execution::parallel_policy policy,
   auto const probe = telemetry::make_probe("filter.par", policy, in.size());
   frontier::sparse_frontier<T> out;
   auto const& active = in.active();
-  policy.pool().run_blocked(
-      active.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        std::vector<T> local;
+  auto const stats = frontier::generate(
+      policy.frontier, policy.pool(), active.size(), policy.grain, out,
+      [&](std::size_t lo, std::size_t hi, auto&& emit) {
         for (std::size_t i = lo; i < hi; ++i)
           if (pred(active[i]))
-            local.push_back(active[i]);
-        out.append_bulk(local.data(), local.size());
-      },
-      policy.grain);
+            emit(active[i]);
+      });
+  detail::flush_generate_stats(probe, policy.frontier, stats);
   probe.set_items_out(out.size());
   return out;
 }
@@ -96,30 +107,37 @@ frontier::dense_frontier<T> filter(P policy,
 /// bonus: output is sorted regardless of the racy order parallel advance
 /// appended in, which makes BSP runs reproducible.
 template <typename T>
-void uniquify(execution::sequenced_policy, frontier::sparse_frontier<T>& f) {
+void uniquify(execution::sequenced_policy policy,
+              frontier::sparse_frontier<T>& f) {
+  auto const probe = telemetry::make_probe("uniquify.seq", policy, f.size());
   auto& v = f.active();
+  std::size_t const before = v.size();
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
+  probe.add_emits(0, 0, before - v.size());
+  probe.set_items_out(v.size());
 }
 
 /// Parallel uniquify via a claim bitmap over the id universe: O(|F|) work,
-/// no sort.  Output order follows the input scan order per chunk.
+/// no sort.  The bitmap is exactly the generation path's dedup filter, so
+/// the survivors are published per `policy.frontier` — lock-free scan
+/// compaction by default (deterministic first-claim-wins order per the
+/// pool's chunking contract), or the `bulk`/`listing3` locked ablations.
 template <typename T>
 void uniquify(execution::parallel_policy policy,
               frontier::sparse_frontier<T>& f, std::size_t universe) {
-  parallel::atomic_bitset seen(universe);
+  auto const probe = telemetry::make_probe("uniquify.par", policy, f.size());
   frontier::sparse_frontier<T> out;
   auto const& active = f.active();
-  policy.pool().run_blocked(
-      active.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        std::vector<T> local;
+  auto const stats = frontier::generate(
+      policy.frontier, policy.pool(), active.size(), policy.grain, out,
+      [&](std::size_t lo, std::size_t hi, auto&& emit) {
         for (std::size_t i = lo; i < hi; ++i)
-          if (seen.test_and_set(static_cast<std::size_t>(active[i])))
-            local.push_back(active[i]);
-        out.append_bulk(local.data(), local.size());
+          emit(active[i]);
       },
-      policy.grain);
+      &frontier::dedup_scratch(universe));
+  detail::flush_generate_stats(probe, policy.frontier, stats);
+  probe.set_items_out(out.size());
   swap(f, out);
 }
 

@@ -11,13 +11,22 @@
 /// {src, dst, edge, weight} tuple (paper §III-C); results land in a
 /// caller-provided output array indexed by vertex, so no atomics are
 /// needed: each vertex's fold is owned by one lane.
+///
+/// `neighbor_reduce_activate` closes the GAS loop: gather, then feed each
+/// vertex's folded value to an *activate* predicate; survivors form the
+/// next sparse frontier, published through the policy's frontier-generation
+/// strategy (`execution::frontier_gen`) — lock-free scan compaction by
+/// default, with the locked `bulk`/`listing3` paths kept as ablations.
 
 #include <cstddef>
 
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
+#include "core/operators/advance.hpp"
 #include "core/operators/compute.hpp"
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
+#include "parallel/atomic_bitset.hpp"
 
 namespace essentials::operators {
 
@@ -68,6 +77,61 @@ void neighbor_reduce(P policy, G const& g,
       acc = combine(acc, map(v, g.get_dest_vertex(e), e, g.get_edge_weight(e)));
     out[static_cast<std::size_t>(v)] = acc;
   });
+}
+
+/// Gather-and-activate: fold each active vertex's out-neighborhood like the
+/// frontier-restricted `neighbor_reduce` (results land in `out[v]`), then
+/// keep the vertex in the returned frontier iff `activate(v, acc)` is true.
+/// This is the operator shape iterative gather algorithms (delta-PageRank,
+/// label propagation) use to shrink their active set each round.
+///
+/// The output frontier is produced by the policy's generation strategy and
+/// honors `policy.dedup` (a no-op when the input frontier is already a
+/// set, but it keeps repeated activations out when the caller's input
+/// carries duplicates).  The per-index body does O(out-degree) work, so
+/// the parallel branch uses `policy.edge_grain`.
+template <typename P, typename G, typename T, typename R, typename MapF,
+          typename CombineF, typename ActivateF>
+  requires execution::synchronous_policy<P> && (G::has_csr)
+frontier::sparse_frontier<T> neighbor_reduce_activate(
+    P policy, G const& g, frontier::sparse_frontier<T> const& f, R identity,
+    MapF map, CombineF combine, ActivateF activate, R* out) {
+  using V = typename G::vertex_type;
+  auto const probe =
+      telemetry::make_probe("neighbor_reduce_activate", policy, f.size());
+  frontier::sparse_frontier<T> next;
+  auto const& active = f.active();
+  auto const chunk = [&](std::size_t lo, std::size_t hi, auto&& emit) {
+    std::size_t folded = 0, activated = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      V const v = active[i];
+      R acc = identity;
+      for (auto const e : g.get_edges(v)) {
+        acc = combine(acc,
+                      map(v, g.get_dest_vertex(e), e, g.get_edge_weight(e)));
+        ++folded;
+      }
+      out[static_cast<std::size_t>(v)] = acc;
+      if (activate(v, acc)) {
+        ++activated;
+        emit(v);
+      }
+    }
+    probe.add_edges(folded, activated);
+  };
+  if constexpr (std::decay_t<P>::is_parallel) {
+    parallel::atomic_bitset* const dedup = detail::dedup_filter(
+        policy, static_cast<std::size_t>(g.get_num_vertices()));
+    auto const stats =
+        frontier::generate(policy.frontier, policy.pool(), active.size(),
+                           policy.edge_grain, next, chunk, dedup);
+    detail::flush_generate_stats(probe, policy.frontier, stats);
+  } else {
+    auto emit = [&next](T v) { next.active().push_back(v); };
+    chunk(0, active.size(), emit);
+  }
+  probe.set_items_out(next.size());
+  return next;
 }
 
 }  // namespace essentials::operators

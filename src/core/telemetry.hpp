@@ -57,8 +57,10 @@ namespace essentials::telemetry {
 /// True when recording support is compiled into this build.
 inline constexpr bool compiled_in = (ESSENTIALS_TELEMETRY_ENABLED != 0);
 
-/// Schema version stamped into every exported trace.
-inline constexpr int schema_version = 1;
+/// Schema version stamped into every exported trace.  v2 adds the
+/// frontier-generation counters (emits_scan / emits_lock / dedup_hits /
+/// scratch_reused) to op records.
+inline constexpr int schema_version = 2;
 
 // ---------------------------------------------------------------------------
 // Trace data model
@@ -78,6 +80,10 @@ struct op_record {
   std::size_t items_out = 0;        ///< output size (0 for async launches)
   std::size_t edges_inspected = 0;  ///< condition evaluations
   std::size_t edges_relaxed = 0;    ///< condition returned true
+  std::size_t emits_scan = 0;       ///< elements published lock-free (scan path)
+  std::size_t emits_lock = 0;       ///< elements published under a lock (bulk/listing3)
+  std::size_t dedup_hits = 0;       ///< emissions suppressed by the dedup bitmap
+  bool scratch_reused = false;      ///< lane scratch arrived with warm capacity
   double millis = 0.0;              ///< wall time, launch -> retire
   std::size_t pool_lanes = 0;       ///< lanes available (0 == sequential)
   std::size_t pool_queued = 0;      ///< pool tasks pending at launch
@@ -109,6 +115,24 @@ struct superstep_record {
       total += op.edges_relaxed;
     return total;
   }
+  std::size_t emits_scan() const {
+    std::size_t total = 0;
+    for (auto const& op : ops)
+      total += op.emits_scan;
+    return total;
+  }
+  std::size_t emits_lock() const {
+    std::size_t total = 0;
+    for (auto const& op : ops)
+      total += op.emits_lock;
+    return total;
+  }
+  std::size_t dedup_hits() const {
+    std::size_t total = 0;
+    for (auto const& op : ops)
+      total += op.dedup_hits;
+    return total;
+  }
 };
 
 /// A full enactment trace: the supersteps of one algorithm run.
@@ -127,6 +151,24 @@ struct trace {
     std::size_t total = 0;
     for (auto const& s : supersteps)
       total += s.edges_relaxed();
+    return total;
+  }
+  std::size_t total_emits_scan() const {
+    std::size_t total = 0;
+    for (auto const& s : supersteps)
+      total += s.emits_scan();
+    return total;
+  }
+  std::size_t total_emits_lock() const {
+    std::size_t total = 0;
+    for (auto const& s : supersteps)
+      total += s.emits_lock();
+    return total;
+  }
+  std::size_t total_dedup_hits() const {
+    std::size_t total = 0;
+    for (auto const& s : supersteps)
+      total += s.dedup_hits();
     return total;
   }
   double total_millis() const {
@@ -316,10 +358,16 @@ struct probe_state {
   std::chrono::steady_clock::time_point start{};
   std::atomic<std::size_t> inspected{0};
   std::atomic<std::size_t> relaxed{0};
+  std::atomic<std::size_t> emits_scan{0};
+  std::atomic<std::size_t> emits_lock{0};
+  std::atomic<std::size_t> dedup_hits{0};
 
   ~probe_state() {
     record.edges_inspected = inspected.load(std::memory_order_relaxed);
     record.edges_relaxed = relaxed.load(std::memory_order_relaxed);
+    record.emits_scan = emits_scan.load(std::memory_order_relaxed);
+    record.emits_lock = emits_lock.load(std::memory_order_relaxed);
+    record.dedup_hits = dedup_hits.load(std::memory_order_relaxed);
     record.millis = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -343,6 +391,30 @@ inline void flush_edges(std::shared_ptr<probe_state> const& s,
     (void)s;
     (void)inspected;
     (void)relaxed;
+  }
+}
+
+/// Flush frontier-generation counters into a shared probe state: how many
+/// elements were published lock-free (scan compaction) vs under a lock
+/// (bulk append / listing3 per-element), and how many emissions the dedup
+/// bitmap suppressed.
+inline void flush_emits(std::shared_ptr<probe_state> const& s,
+                        std::size_t scan, std::size_t lock,
+                        std::size_t dedup = 0) {
+  if constexpr (compiled_in) {
+    if (s) {
+      if (scan)
+        s->emits_scan.fetch_add(scan, std::memory_order_relaxed);
+      if (lock)
+        s->emits_lock.fetch_add(lock, std::memory_order_relaxed);
+      if (dedup)
+        s->dedup_hits.fetch_add(dedup, std::memory_order_relaxed);
+    }
+  } else {
+    (void)s;
+    (void)scan;
+    (void)lock;
+    (void)dedup;
   }
 }
 
@@ -389,6 +461,23 @@ class op_probe {
   /// Flush lane-local counters (relaxed atomic adds; no-op when inert).
   void add_edges(std::size_t inspected, std::size_t relaxed) const {
     flush_edges(s_, inspected, relaxed);
+  }
+
+  /// Flush frontier-generation counters (see `flush_emits`).
+  void add_emits(std::size_t scan, std::size_t lock,
+                 std::size_t dedup = 0) const {
+    flush_emits(s_, scan, lock, dedup);
+  }
+
+  /// Record whether the scan path's lane scratch arrived warm (capacity
+  /// reused from a previous superstep) — enacting thread only.
+  void set_scratch_reused(bool reused) const {
+    if constexpr (compiled_in) {
+      if (s_)
+        s_->record.scratch_reused = reused;
+    } else {
+      (void)reused;
+    }
   }
 
   void set_items_out(std::size_t n) const {
@@ -495,6 +584,10 @@ inline void write_op_json(std::ostream& os, op_record const& op) {
   os << "\",\"items_in\":" << op.items_in << ",\"items_out\":" << op.items_out
      << ",\"edges_inspected\":" << op.edges_inspected
      << ",\"edges_relaxed\":" << op.edges_relaxed
+     << ",\"emits_scan\":" << op.emits_scan
+     << ",\"emits_lock\":" << op.emits_lock
+     << ",\"dedup_hits\":" << op.dedup_hits
+     << ",\"scratch_reused\":" << (op.scratch_reused ? "true" : "false")
      << ",\"millis\":" << op.millis << ",\"pool_lanes\":" << op.pool_lanes
      << ",\"pool_queued\":" << op.pool_queued
      << ",\"pool_busy\":" << op.pool_busy
@@ -509,7 +602,10 @@ inline void write_superstep_json(std::ostream& os, superstep_record const& s) {
      << ",\"frontier_density\":" << s.frontier_density
      << ",\"metric\":" << s.metric << ",\"millis\":" << s.millis
      << ",\"edges_inspected\":" << s.edges_inspected()
-     << ",\"edges_relaxed\":" << s.edges_relaxed() << ",\"ops\":[";
+     << ",\"edges_relaxed\":" << s.edges_relaxed()
+     << ",\"emits_scan\":" << s.emits_scan()
+     << ",\"emits_lock\":" << s.emits_lock()
+     << ",\"dedup_hits\":" << s.dedup_hits() << ",\"ops\":[";
   for (std::size_t i = 0; i < s.ops.size(); ++i) {
     if (i)
       os << ",";
@@ -534,6 +630,9 @@ inline void write_json(trace const& t, std::ostream& os) {
   os << "],\"totals\":{\"supersteps\":" << t.num_supersteps()
      << ",\"edges_inspected\":" << t.total_edges_inspected()
      << ",\"edges_relaxed\":" << t.total_edges_relaxed()
+     << ",\"emits_scan\":" << t.total_emits_scan()
+     << ",\"emits_lock\":" << t.total_emits_lock()
+     << ",\"dedup_hits\":" << t.total_dedup_hits()
      << ",\"direction_switches\":" << t.direction_switches()
      << ",\"millis\":" << t.total_millis() << "}}";
 }
@@ -566,13 +665,15 @@ bool write_json(TraceT const& t, std::string const& path) {
 /// flattening of the JSON trace.
 inline void write_csv(trace const& t, std::ostream& os) {
   os << "algorithm,superstep,direction,switched,frontier_in,frontier_out,"
-        "frontier_density,edges_inspected,edges_relaxed,metric,millis,ops\n";
+        "frontier_density,edges_inspected,edges_relaxed,emits_scan,"
+        "emits_lock,dedup_hits,metric,millis,ops\n";
   for (auto const& s : t.supersteps) {
     os << t.algorithm << "," << s.index << "," << to_string(s.direction) << ","
        << (s.switched_direction ? 1 : 0) << "," << s.frontier_in << ","
        << s.frontier_out << "," << s.frontier_density << ","
-       << s.edges_inspected() << "," << s.edges_relaxed() << "," << s.metric
-       << "," << s.millis << "," << s.ops.size() << "\n";
+       << s.edges_inspected() << "," << s.edges_relaxed() << ","
+       << s.emits_scan() << "," << s.emits_lock() << "," << s.dedup_hits()
+       << "," << s.metric << "," << s.millis << "," << s.ops.size() << "\n";
   }
 }
 

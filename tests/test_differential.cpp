@@ -21,6 +21,7 @@
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
 #include "core/operators/advance_balanced.hpp"
+#include "core/operators/filter.hpp"
 #include "core/telemetry.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph.hpp"
@@ -113,6 +114,7 @@ void expect_variants_agree(g::graph_push_pull const& graph,
   fr::sparse_frontier<vertex_t> const in(std::move(seeds));
 
   tel::trace t_seq, t_par, t_nosync, t_l3, t_balanced, t_dense, t_pull;
+  tel::trace t_bulk, t_gen_l3, t_dedup;
 
   // Sequential push: the reference semantics.
   std::vector<vertex_t> ref_multiset;
@@ -138,6 +140,42 @@ void expect_variants_agree(g::graph_push_pull const& graph,
     tel::scoped_recording rec(t_l3, "listing3");
     auto const out = op::neighbors_expand_listing3(ex::par, graph, in, cond);
     EXPECT_EQ(sorted(out.to_vector()), ref_multiset);
+  }
+  // The frontier-generation axis: every strategy computes the same multiset
+  // through one advance_push overload — only the publication path differs.
+  {
+    tel::scoped_recording rec(t_bulk, "advance.par.bulk");
+    auto const out = op::advance_push(
+        ex::par.with_frontier(ex::frontier_gen::bulk), graph, in, cond);
+    EXPECT_EQ(sorted(out.to_vector()), ref_multiset);
+  }
+  {
+    tel::scoped_recording rec(t_gen_l3, "advance.par.listing3");
+    auto const out = op::advance_push(
+        ex::par.with_frontier(ex::frontier_gen::listing3), graph, in, cond);
+    EXPECT_EQ(sorted(out.to_vector()), ref_multiset);
+  }
+  // Dedup turns the sparse multiset into a set (when the input frontier is
+  // itself duplicate-free, which every caller of this harness guarantees).
+  {
+    tel::scoped_recording rec(t_dedup, "advance.par.dedup");
+    auto const out = op::advance_push(ex::par.with_dedup(), graph, in, cond);
+    EXPECT_EQ(deduped(out.to_vector()), ref_set);
+    EXPECT_EQ(out.size(), ref_set.size());  // already a set: dedup worked
+  }
+  for (auto mode : {ex::frontier_gen::bulk, ex::frontier_gen::listing3}) {
+    auto const o2 = op::advance_push(
+        ex::par.with_dedup().with_frontier(mode), graph, in, cond);
+    EXPECT_EQ(o2.size(), ref_set.size());
+    EXPECT_EQ(deduped(o2.to_vector()), ref_set);
+  }
+  // The scan path's output order is deterministic for a fixed pool and
+  // grain: two identical runs must produce bit-identical vectors (the
+  // locked paths promise only multiset equality).
+  {
+    auto const a = op::advance_push(ex::par, graph, in, cond);
+    auto const b = op::advance_push(ex::par, graph, in, cond);
+    EXPECT_EQ(a.to_vector(), b.to_vector());
   }
   {
     tel::scoped_recording rec(t_balanced, "advance.balanced");
@@ -171,11 +209,28 @@ void expect_variants_agree(g::graph_push_pull const& graph,
     EXPECT_EQ(t_balanced.total_edges_relaxed(), relx);
     EXPECT_EQ(t_dense.total_edges_inspected(), insp);
     EXPECT_EQ(t_dense.total_edges_relaxed(), relx);
+    EXPECT_EQ(t_bulk.total_edges_inspected(), insp);
+    EXPECT_EQ(t_bulk.total_edges_relaxed(), relx);
+    EXPECT_EQ(t_gen_l3.total_edges_inspected(), insp);
+    EXPECT_EQ(t_gen_l3.total_edges_relaxed(), relx);
     // …and across *directions* for a pure condition without early exit
     // (the input frontier holds unique ids, so CSR-side and CSC-side
     // traversals see the same edge set).
     EXPECT_EQ(t_pull.total_edges_inspected(), insp);
     EXPECT_EQ(t_pull.total_edges_relaxed(), relx);
+
+    // Emit accounting: scan publishes lock-free, bulk/listing3 publish
+    // under locks, and every relaxation is exactly one emit (no dedup).
+    EXPECT_EQ(t_par.total_emits_scan(), relx);
+    EXPECT_EQ(t_par.total_emits_lock(), 0u);
+    EXPECT_EQ(t_bulk.total_emits_lock(), relx);
+    EXPECT_EQ(t_bulk.total_emits_scan(), 0u);
+    EXPECT_EQ(t_gen_l3.total_emits_lock(), relx);
+    EXPECT_EQ(t_gen_l3.total_emits_scan(), 0u);
+    EXPECT_EQ(t_par.total_dedup_hits(), 0u);
+    // With dedup on, emitted + suppressed == relaxed.
+    EXPECT_EQ(t_dedup.total_emits_scan() + t_dedup.total_dedup_hits(), relx);
+    EXPECT_EQ(t_dedup.total_emits_scan(), ref_set.size());
   }
 }
 
@@ -337,6 +392,110 @@ TEST(Differential, DensePushCountsAllRelaxationsDespiteDedup) {
   if (tel::compiled_in) {
     EXPECT_EQ(t.total_edges_relaxed(), 63u);
     EXPECT_EQ(t.total_edges_inspected(), 63u);
+  }
+}
+
+// --- frontier-generation strategies across the rest of the wired matrix ----
+
+// The edge-balanced advance honors the same generation axis as the plain
+// push: all three strategies (and dedup) agree with the sequential
+// reference on a skewed frontier.
+TEST(Differential, EdgeBalancedHonorsGenerationStrategies) {
+  auto const graph = random_graph(17);
+  std::vector<vertex_t> seeds;
+  for (vertex_t v = 0; v < 200; v += 2)
+    seeds.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(seeds));
+
+  auto const ref =
+      sorted(op::advance_push(ex::seq, graph, in, pure_mod).to_vector());
+  auto const ref_set = deduped(ref);
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    auto const out = op::advance_push_edge_balanced(
+        ex::par.with_frontier(mode), graph, in, pure_mod);
+    EXPECT_EQ(sorted(out.to_vector()), ref);
+    auto const dd = op::advance_push_edge_balanced(
+        ex::par.with_frontier(mode).with_dedup(), graph, in, pure_mod);
+    EXPECT_EQ(dd.size(), ref_set.size());
+    EXPECT_EQ(deduped(dd.to_vector()), ref_set);
+  }
+}
+
+// The edge-centric pipeline (expand_to_edges -> advance_edges) matches the
+// vertex-centric push under every generation strategy.
+TEST(Differential, EdgeCentricPipelineHonorsGenerationStrategies) {
+  auto const graph = random_graph(23);
+  std::vector<vertex_t> seeds;
+  for (vertex_t v = 0; v < 200; v += 5)
+    seeds.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(seeds));
+
+  auto const ref =
+      sorted(op::advance_push(ex::seq, graph, in, pure_mod).to_vector());
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    auto const policy = ex::par.with_frontier(mode);
+    auto const edges = op::expand_to_edges(policy, graph, in);
+    auto const out = op::advance_edges(policy, graph, edges, pure_mod);
+    EXPECT_EQ(sorted(out.to_vector()), ref);
+  }
+}
+
+// filter produces the same set under every strategy; the scan path is
+// additionally deterministic and preserves input order.
+TEST(Differential, FilterStrategiesAgree) {
+  std::vector<vertex_t> ids;
+  for (vertex_t v = 0; v < 10000; ++v)
+    ids.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(ids));
+  auto const pred = [](vertex_t v) { return v % 3 == 0; };
+
+  auto const ref = op::filter(ex::seq, in, pred).to_vector();  // input order
+  auto const scan_out = op::filter(ex::par, in, pred);
+  EXPECT_EQ(scan_out.to_vector(), ref);  // deterministic AND order-preserving
+  for (auto mode : {ex::frontier_gen::bulk, ex::frontier_gen::listing3}) {
+    auto const out = op::filter(ex::par.with_frontier(mode), in, pred);
+    EXPECT_EQ(sorted(out.to_vector()), ref);  // ref is already sorted
+  }
+}
+
+// uniquify's claim bitmap rides the generation path's dedup hook: all
+// strategies agree with the sequential sort+unique on the surviving set.
+TEST(Differential, UniquifyStrategiesProduceTheSameSet) {
+  std::vector<vertex_t> dups;
+  for (vertex_t v = 0; v < 512; ++v) {
+    dups.push_back(v % 97);
+    dups.push_back(v % 31);
+  }
+  auto const ref = deduped(dups);
+
+  fr::sparse_frontier<vertex_t> f_seq{dups};
+  op::uniquify(ex::seq, f_seq);
+  EXPECT_EQ(f_seq.to_vector(), ref);
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    fr::sparse_frontier<vertex_t> f{dups};
+    tel::trace t;
+    {
+      tel::scoped_recording rec(t, "uniquify");
+      op::uniquify(ex::par.with_frontier(mode), f, /*universe=*/97);
+    }
+    EXPECT_EQ(deduped(f.to_vector()), ref);
+    EXPECT_EQ(f.size(), ref.size());
+    if (tel::compiled_in) {
+      EXPECT_EQ(t.total_dedup_hits(), dups.size() - ref.size());
+      if (mode == ex::frontier_gen::scan) {
+        EXPECT_EQ(t.total_emits_scan(), ref.size());
+        EXPECT_EQ(t.total_emits_lock(), 0u);
+      } else {
+        EXPECT_EQ(t.total_emits_lock(), ref.size());
+        EXPECT_EQ(t.total_emits_scan(), 0u);
+      }
+    }
   }
 }
 

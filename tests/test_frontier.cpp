@@ -65,6 +65,67 @@ TEST(SparseFrontier, ClearAndSwap) {
   EXPECT_TRUE(a.empty());
 }
 
+// Regression (audited concurrency contract, run under TSAN in CI): a
+// producer still draining appends while the enactor recycles the frontier
+// with clear() must not corrupt the vector — clear() serializes on the
+// same lock as add_vertex/append_bulk.  Publications are whole: whatever
+// survives the clears, size() and iteration must agree.
+TEST(SparseFrontier, ConcurrentAppendsDuringClearDoNotCorrupt) {
+  for (int round = 0; round < 20; ++round) {
+    f::sparse_frontier<vertex_t> fr;
+    std::thread producer([&fr] {
+      vertex_t chunk[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+      for (int i = 0; i < 300; ++i) {
+        fr.add_vertex(static_cast<vertex_t>(i));
+        fr.append_bulk(chunk, 8);
+      }
+    });
+    std::thread recycler([&fr] {
+      for (int i = 0; i < 50; ++i)
+        fr.clear();
+    });
+    producer.join();
+    recycler.join();
+    std::size_t seen = 0;
+    fr.for_each_active([&seen](vertex_t) { ++seen; });
+    EXPECT_EQ(seen, fr.size());
+    fr.clear();
+    EXPECT_TRUE(fr.empty());
+  }
+}
+
+// Regression (run under TSAN in CI): swap() takes both operands' locks in
+// address order, so it can race concurrent producers on either side — and
+// two concurrent swaps with opposite argument order cannot deadlock.
+TEST(SparseFrontier, ConcurrentAppendsDuringSwapDoNotCorrupt) {
+  for (int round = 0; round < 20; ++round) {
+    f::sparse_frontier<vertex_t> a, b;
+    std::thread prod_a([&a] {
+      for (int i = 0; i < 500; ++i)
+        a.add_vertex(static_cast<vertex_t>(i));
+    });
+    std::thread prod_b([&b] {
+      vertex_t chunk[4] = {100, 101, 102, 103};
+      for (int i = 0; i < 125; ++i)
+        b.append_bulk(chunk, 4);
+    });
+    std::thread swapper_1([&a, &b] {
+      for (int i = 0; i < 25; ++i)
+        swap(a, b);
+    });
+    std::thread swapper_2([&a, &b] {
+      for (int i = 0; i < 25; ++i)
+        swap(b, a);  // opposite argument order: exercises lock ordering
+    });
+    prod_a.join();
+    prod_b.join();
+    swapper_1.join();
+    swapper_2.join();
+    // Nothing was lost: both frontiers together hold every publication.
+    EXPECT_EQ(a.size() + b.size(), 500u + 500u);
+  }
+}
+
 // --- dense -------------------------------------------------------------------
 
 TEST(DenseFrontier, MembershipAndCount) {

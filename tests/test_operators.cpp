@@ -12,6 +12,7 @@
 #include "core/operators/advance.hpp"
 #include "core/operators/compute.hpp"
 #include "core/operators/filter.hpp"
+#include "core/operators/neighbor_reduce.hpp"
 #include "core/operators/reduce.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph.hpp"
@@ -335,4 +336,99 @@ TEST(ExecutionPolicies, PolicyCarriesItsPool) {
   EXPECT_EQ(&policy.pool(), &pool);
   ex::parallel_policy defaulted;
   EXPECT_EQ(&defaulted.pool(), &essentials::parallel::default_pool());
+}
+
+TEST(ExecutionPolicies, BuildersComposeWithoutMutatingTheSource) {
+  auto const p = ex::par.with_frontier(ex::frontier_gen::bulk)
+                     .with_dedup()
+                     .with_edge_grain(4)
+                     .with_grain(128);
+  EXPECT_EQ(p.frontier, ex::frontier_gen::bulk);
+  EXPECT_TRUE(p.dedup);
+  EXPECT_EQ(p.edge_grain, 4u);
+  EXPECT_EQ(p.grain, 128u);
+  // The shared const instance is untouched.
+  EXPECT_EQ(ex::par.frontier, ex::frontier_gen::scan);
+  EXPECT_FALSE(ex::par.dedup);
+  EXPECT_EQ(ex::par.grain, ex::default_grain);
+  EXPECT_EQ(ex::par.edge_grain, ex::default_edge_grain);
+
+  auto const ns = ex::par_nosync.with_frontier(ex::frontier_gen::listing3)
+                      .with_edge_grain(8);
+  EXPECT_EQ(ns.frontier, ex::frontier_gen::listing3);
+  EXPECT_EQ(ns.edge_grain, 8u);
+  EXPECT_EQ(ex::par_nosync.frontier, ex::frontier_gen::scan);
+}
+
+TEST(ExecutionPolicies, AdvanceHonorsCustomEdgeGrain) {
+  auto const graph = rmat_graph();
+  fr::sparse_frontier<vertex_t> in(std::vector<vertex_t>{0, 1, 2, 3, 4, 5});
+  auto const ref = sorted(op::advance_push(ex::seq, graph, in, always).to_vector());
+  for (std::size_t grain : {1, 2, 64, 100000}) {
+    auto const out =
+        op::advance_push(ex::par.with_edge_grain(grain), graph, in, always);
+    EXPECT_EQ(sorted(out.to_vector()), ref) << "edge_grain=" << grain;
+  }
+}
+
+// --- neighbor_reduce_activate ----------------------------------------------
+
+TEST(NeighborReduceActivate, GathersAndActivates) {
+  auto const graph = small_graph();
+  fr::sparse_frontier<vertex_t> in(std::vector<vertex_t>{0, 1, 2, 3});
+  std::vector<float> sums(4, -1.f);
+  // Gather: sum of edge weights (all 1) == out-degree.  Activate vertices
+  // with at least two out-edges.
+  auto const out = op::neighbor_reduce_activate(
+      ex::par, graph, in, 0.f,
+      [](vertex_t, vertex_t, edge_t, weight_t w) { return w; },
+      [](float a, float b) { return a + b; },
+      [](vertex_t, float acc) { return acc >= 2.f; }, sums.data());
+  EXPECT_EQ(sorted(out.to_vector()), (std::vector<vertex_t>{0, 1}));
+  EXPECT_EQ(sums, (std::vector<float>{2.f, 2.f, 1.f, 1.f}));
+}
+
+TEST(NeighborReduceActivate, SeqMatchesParAcrossStrategies) {
+  auto const graph = rmat_graph();
+  std::size_t const n = static_cast<std::size_t>(graph.get_num_vertices());
+  std::vector<vertex_t> seeds;
+  for (vertex_t v = 0; v < static_cast<vertex_t>(n); v += 3)
+    seeds.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(seeds));
+
+  auto const map = [](vertex_t, vertex_t d, edge_t, weight_t) {
+    return static_cast<long>(d);
+  };
+  auto const combine = [](long a, long b) { return a + b; };
+  auto const activate = [](vertex_t, long acc) { return acc % 2 == 1; };
+
+  std::vector<long> ref_sums(n, 0);
+  auto const ref = op::neighbor_reduce_activate(ex::seq, graph, in, 0L, map,
+                                                combine, activate,
+                                                ref_sums.data());
+  auto const ref_sorted = sorted(ref.to_vector());
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    std::vector<long> sums(n, 0);
+    auto const out = op::neighbor_reduce_activate(
+        ex::par.with_frontier(mode), graph, in, 0L, map, combine, activate,
+        sums.data());
+    EXPECT_EQ(sorted(out.to_vector()), ref_sorted);
+    EXPECT_EQ(sums, ref_sums);
+  }
+}
+
+TEST(NeighborReduceActivate, FrontierRestriction) {
+  auto const graph = small_graph();
+  fr::sparse_frontier<vertex_t> in(std::vector<vertex_t>{1});
+  std::vector<int> counts(4, -7);
+  auto const out = op::neighbor_reduce_activate(
+      ex::par, graph, in, 0,
+      [](vertex_t, vertex_t, edge_t, weight_t) { return 1; },
+      [](int a, int b) { return a + b; },
+      [](vertex_t, int) { return true; }, counts.data());
+  EXPECT_EQ(out.to_vector(), (std::vector<vertex_t>{1}));
+  // Only vertex 1's slot was written; inactive slots untouched.
+  EXPECT_EQ(counts, (std::vector<int>{-7, 2, -7, -7}));
 }

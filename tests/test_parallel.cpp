@@ -11,6 +11,7 @@
 #include "parallel/atomic_bitset.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/for_each.hpp"
+#include "parallel/lane_buffers.hpp"
 #include "parallel/mpmc_queue.hpp"
 #include "parallel/spinlock.hpp"
 #include "parallel/thread_pool.hpp"
@@ -402,4 +403,86 @@ TEST(MpmcQueue, PushBatch) {
     q.done_processing();
   }
   EXPECT_EQ(got, std::set<int>({1, 2, 3, 4, 5}));
+}
+
+// --- lane_buffers -----------------------------------------------------------
+
+TEST(LaneBuffers, LanesAreCacheLinePadded) {
+  static_assert(alignof(p::lane_buffers<int>::lane_t) >= p::cache_line_size);
+  static_assert(sizeof(p::lane_buffers<int>::lane_t) % p::cache_line_size ==
+                0);
+  SUCCEED();
+}
+
+TEST(LaneBuffers, AcquireClearsCountsButKeepsCapacity) {
+  p::lane_buffers<int> lanes;
+  EXPECT_FALSE(lanes.acquire(4));  // first round: cold
+  for (int i = 0; i < 100; ++i)
+    lanes[1].buf.push_back(i);
+  lanes[2].suppressed = 7;
+  EXPECT_EQ(lanes.total(), 100u);
+  EXPECT_EQ(lanes.total_suppressed(), 7u);
+  auto const cap = lanes[1].buf.capacity();
+
+  EXPECT_TRUE(lanes.acquire(4));  // warm: same lane count
+  EXPECT_EQ(lanes.total(), 0u);
+  EXPECT_EQ(lanes.total_suppressed(), 0u);
+  EXPECT_GE(lanes[1].buf.capacity(), cap);  // capacity survived
+  EXPECT_EQ(lanes.rounds(), 2u);
+}
+
+TEST(LaneBuffers, AcquireGrowsAndReportsColdStart) {
+  p::lane_buffers<int> lanes;
+  EXPECT_FALSE(lanes.acquire(2));
+  EXPECT_EQ(lanes.num_lanes(), 2u);
+  EXPECT_FALSE(lanes.acquire(8));  // growth: not (fully) reused
+  EXPECT_EQ(lanes.num_lanes(), 8u);
+  EXPECT_TRUE(lanes.acquire(3));  // shrink requests reuse the larger array
+  EXPECT_EQ(lanes.num_lanes(), 8u);
+}
+
+TEST(LaneBuffers, SizesFeedsTheCompactionScan) {
+  p::lane_buffers<int> lanes;
+  lanes.acquire(3);
+  lanes[0].buf = {1, 2};
+  lanes[2].buf = {3, 4, 5};
+  std::size_t sizes[3];
+  lanes.sizes(3, sizes);
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 0u);
+  EXPECT_EQ(sizes[2], 3u);
+  EXPECT_EQ(lanes.total(), 5u);
+}
+
+TEST(LaneBuffers, ReleaseDropsEverything) {
+  p::lane_buffers<int> lanes;
+  lanes.acquire(4);
+  lanes[0].buf = {1, 2, 3};
+  lanes.release();
+  EXPECT_EQ(lanes.num_lanes(), 0u);
+  EXPECT_FALSE(lanes.acquire(2));  // next round after release is cold again
+}
+
+TEST(LaneBuffers, ConcurrentLanesDoNotInterfere) {
+  p::lane_buffers<int> lanes;
+  p::thread_pool pool(4);
+  std::size_t const n = 10000;
+  std::size_t const k = 8;
+  std::size_t const step = (n + k - 1) / k;
+  lanes.acquire(k);
+  pool.run_blocked(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        auto& lane = lanes[lo / step];
+        for (std::size_t i = lo; i < hi; ++i)
+          lane.buf.push_back(static_cast<int>(i));
+      },
+      step);
+  EXPECT_EQ(lanes.total(), n);
+  // Chunk-major, input-order within a chunk: concatenation is 0..n-1.
+  std::vector<int> all;
+  for (std::size_t c = 0; c * step < n; ++c)
+    all.insert(all.end(), lanes[c].buf.begin(), lanes[c].buf.end());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(all[i], static_cast<int>(i));
 }
