@@ -27,8 +27,10 @@
 /// Without a recording scope — or with telemetry compiled out — the hooks
 /// are a folded-away null check.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -81,6 +83,108 @@ struct value_below {
 
 template <typename MeasureF>
 value_below(MeasureF, double) -> value_below<MeasureF>;
+
+/// Cooperative cancellation: a copyable handle on a shared flag.  The
+/// issuing side (an engine scheduler, a signal handler, another thread)
+/// calls `request_cancel()`; the enacting side composes a
+/// `cancelled{token}` (or `cancelled_or_deadline`) condition into its loop
+/// and stops at the next superstep boundary.  Copies share the flag, so a
+/// token can be captured by the job and kept by the scheduler at once.
+class cancel_token {
+ public:
+  cancel_token() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Ask the owning computation to stop at its next convergence check.
+  void request_cancel() const { flag_->store(true, std::memory_order_release); }
+
+  /// True once any copy of this token has been cancelled.
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  /// Reset for reuse (single-threaded setup phases only).
+  void reset() const { flag_->store(false, std::memory_order_release); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Converged when a cancellation token fired — cooperative cancellation as
+/// a first-class convergence condition.
+struct cancelled {
+  cancel_token token;
+  template <typename F>
+  bool operator()(F const& /*f*/, std::size_t /*iteration*/) const {
+    return token.cancelled();
+  }
+};
+
+/// Converged when a wall-clock budget is exhausted — the deadline as a
+/// first-class composable condition.  Fixes the gap where runaway
+/// algorithms could only be bounded by iteration count: an algorithm with
+/// few, slow supersteps blows any iteration cap long after it blew the
+/// latency budget.  Use standalone or via `any_of`:
+///
+///   bsp_loop(f, step, any_of{frontier_empty{}, time_budget{50ms}});
+///
+/// The check runs once per superstep, so the loop overshoots by at most one
+/// superstep's wall time (cooperative, like every condition here).
+class time_budget {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Budget relative to *now* (construction time).
+  explicit time_budget(clock::duration budget)
+      : deadline_(clock::now() + budget) {}
+
+  /// Absolute deadline (e.g. a job's admission-time deadline).
+  static time_budget until(clock::time_point deadline) {
+    time_budget b;
+    b.deadline_ = deadline;
+    return b;
+  }
+
+  /// A budget that never expires (identity under `any_of`).
+  static time_budget unlimited() {
+    return until(clock::time_point::max());
+  }
+
+  clock::time_point deadline() const { return deadline_; }
+
+  bool expired() const {
+    return deadline_ != clock::time_point::max() && clock::now() >= deadline_;
+  }
+
+  template <typename F>
+  bool operator()(F const& /*f*/, std::size_t /*iteration*/) const {
+    return expired();
+  }
+
+ private:
+  time_budget() = default;
+  clock::time_point deadline_ = clock::time_point::max();
+};
+
+/// The engine's stop condition: cancellation OR deadline, in one check.
+/// `why()` reports which fired (deadline wins ties), so a scheduler can
+/// classify the outcome after the loop returns.
+struct cancelled_or_deadline {
+  cancel_token token;
+  time_budget budget = time_budget::unlimited();
+
+  enum class reason { none, cancelled, deadline };
+
+  template <typename F>
+  bool operator()(F const& /*f*/, std::size_t /*iteration*/) const {
+    return budget.expired() || token.cancelled();
+  }
+
+  reason why() const {
+    if (budget.expired())
+      return reason::deadline;
+    if (token.cancelled())
+      return reason::cancelled;
+    return reason::none;
+  }
+};
 
 /// Disjunction of two conditions.
 template <typename A, typename B>
@@ -203,6 +307,58 @@ std::size_t async_loop(frontier::async_queue_frontier<T>& f,
   if (telemetry::recorder* const rec = telemetry::current()) {
     telemetry::op_record op;
     op.name = "async_loop";
+    op.items_in = total;
+    op.items_out = total;
+    op.pool_lanes = num_workers;
+    op.async = true;
+    op.millis = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    rec->add_op(std::move(op));
+  }
+  return total;
+}
+
+/// Asynchronous loop with a stop condition: identical to `async_loop`, but
+/// each consumer re-evaluates `should_stop()` (any nullary predicate — a
+/// `cancelled_or_deadline` bound to a frontier-free closure, a lambda over
+/// a cancel_token...) between items; the first lane to observe it closes
+/// the queue, which wakes every blocked consumer and ends the loop even
+/// though the frontier is not quiescent.  This is how engine jobs running
+/// in the asynchronous timing model honour deadlines and cancellation: the
+/// check costs one predicate call per *item*, never per edge.
+template <typename T, typename BodyF, typename StopF>
+std::size_t async_loop(frontier::async_queue_frontier<T>& f,
+                       std::size_t num_workers, BodyF body,
+                       StopF should_stop) {
+  expects(num_workers >= 1, "async_loop: need at least one worker");
+  auto const start = std::chrono::steady_clock::now();
+  std::vector<std::thread> crew;
+  crew.reserve(num_workers);
+  std::vector<std::size_t> processed(num_workers, 0);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    crew.emplace_back([&f, &body, &should_stop, &processed, w] {
+      T v{};
+      while (f.pop_vertex(v)) {
+        if (should_stop()) {
+          f.finish_vertex();
+          f.close();
+          break;
+        }
+        body(v);
+        f.finish_vertex();
+        ++processed[w];
+      }
+    });
+  }
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    crew[w].join();
+    total += processed[w];
+  }
+  if (telemetry::recorder* const rec = telemetry::current()) {
+    telemetry::op_record op;
+    op.name = "async_loop.stoppable";
     op.items_in = total;
     op.items_out = total;
     op.pool_lanes = num_workers;

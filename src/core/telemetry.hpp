@@ -41,6 +41,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -59,8 +60,10 @@ inline constexpr bool compiled_in = (ESSENTIALS_TELEMETRY_ENABLED != 0);
 
 /// Schema version stamped into every exported trace.  v2 adds the
 /// frontier-generation counters (emits_scan / emits_lock / dedup_hits /
-/// scratch_reused) to op records.
-inline constexpr int schema_version = 2;
+/// scratch_reused) to op records.  v3 adds job-scope tagging (job_id /
+/// job_tag / graph_epoch) so engine-multiplexed traces can be attributed to
+/// the job that produced them.
+inline constexpr int schema_version = 3;
 
 // ---------------------------------------------------------------------------
 // Trace data model
@@ -136,8 +139,19 @@ struct superstep_record {
 };
 
 /// A full enactment trace: the supersteps of one algorithm run.
+///
+/// Job-scope tagging (schema v3): when an enactment runs under the engine
+/// scheduler, the scheduler stamps the trace with the job's id, a
+/// human-readable tag ("sssp(graph=web, src=42)") and the graph epoch the
+/// job ran against — so mixed traces from a multi-tenant engine can be
+/// grouped per job, per workload class, or per epoch.  Zero/empty means
+/// "not job-scoped" (standalone enactments) and the fields are elided from
+/// the JSON export.
 struct trace {
   std::string algorithm;
+  std::uint64_t job_id = 0;    ///< engine job id (0 == standalone run)
+  std::string job_tag;         ///< engine job tag (empty == standalone)
+  std::uint64_t graph_epoch = 0;  ///< registry epoch the job ran against
   std::vector<superstep_record> supersteps;
 
   std::size_t num_supersteps() const { return supersteps.size(); }
@@ -621,7 +635,13 @@ inline void write_superstep_json(std::ostream& os, superstep_record const& s) {
 inline void write_json(trace const& t, std::ostream& os) {
   os << "{\"telemetry_version\":" << schema_version << ",\"algorithm\":\"";
   detail::json_escape(os, t.algorithm);
-  os << "\",\"supersteps\":[";
+  os << "\"";
+  if (t.job_id != 0 || !t.job_tag.empty()) {
+    os << ",\"job_id\":" << t.job_id << ",\"job_tag\":\"";
+    detail::json_escape(os, t.job_tag);
+    os << "\",\"graph_epoch\":" << t.graph_epoch;
+  }
+  os << ",\"supersteps\":[";
   for (std::size_t i = 0; i < t.supersteps.size(); ++i) {
     if (i)
       os << ",";

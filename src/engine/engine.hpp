@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file engine/engine.hpp
+/// \brief The analytics engine facade: registry + scheduler + result cache
+/// + metrics wired into one object — the layer that turns "a library that
+/// runs one algorithm" into "a service that runs many, concurrently, over
+/// shared mutating graphs".
+///
+/// Query path (the protocol, also documented in docs/ARCHITECTURE.md):
+///
+///   submit(desc, fn)
+///     ├─ registry.lookup(desc.graph)         — pin (snapshot, epoch)
+///     ├─ cache.lookup(graph, epoch, algo, params)
+///     │    └─ hit  → handle retires instantly as `cache_hit` (no queue,
+///     │             no enactment; determinism makes the result
+///     │             bit-identical to a re-run)
+///     └─ miss → scheduler.submit: priority queue → runner thread →
+///              fn(snapshot, ctx) under deadline/cancel conditions →
+///              `completed` results are inserted into the cache keyed by
+///              the epoch pinned at submission
+///
+///   registry.publish(name, ...) — swaps the snapshot, bumps the epoch and
+///   (via subscription) invalidates cache entries of that graph *only*.
+///   In-flight jobs keep their pinned epoch and finish correctly; their
+///   late cache inserts carry the old epoch in the key, so they can never
+///   be confused with fresh-epoch results (the eager invalidation is an
+///   optimization; the epoch-in-key is the correctness).
+///
+/// The facade is templated on the concrete graph type it serves
+/// (`analytics_engine<graph::graph_push_pull>` is the common
+/// instantiation); the scheduler/cache/stats below it are type-erased and
+/// compiled once (engine/scheduler.cpp).
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/stats.hpp"
+
+namespace essentials::engine {
+
+struct engine_options {
+  std::size_t num_runners = 2;       ///< concurrent jobs in flight
+  std::size_t max_queued = 64;       ///< admission bound
+  std::size_t cache_capacity = 128;  ///< result-cache entries (0 disables)
+};
+
+template <typename GraphT>
+class analytics_engine {
+ public:
+  using graph_type = GraphT;
+
+  /// Job body: runs against the pinned snapshot with the cooperative stop
+  /// context.  Return the (heap-allocated, immutable) result to publish to
+  /// the handle and the cache; null results are valid but never cached.
+  using typed_job_fn = std::function<std::shared_ptr<void const>(
+      GraphT const&, job_context&)>;
+
+  explicit analytics_engine(engine_options opt = {})
+      : cache_(opt.cache_capacity, &stats_),
+        scheduler_(scheduler_options{opt.num_runners, opt.max_queued},
+                   &stats_) {
+    // Epoch publication protocol: a new epoch of graph G invalidates
+    // cached results of G only; other graphs' entries survive.
+    registry_.subscribe([this](std::string const& name, std::uint64_t) {
+      cache_.invalidate_graph(name);
+    });
+  }
+
+  ~analytics_engine() { scheduler_.shutdown(/*run_queued=*/false); }
+
+  graph_registry<GraphT>& registry() { return registry_; }
+  graph_registry<GraphT> const& registry() const { return registry_; }
+  result_cache& cache() { return cache_; }
+  job_scheduler& scheduler() { return scheduler_; }
+  engine_stats_snapshot stats() const { return stats_.snapshot(); }
+
+  /// Submit an analytics query.  The returned handle is live immediately:
+  /// `cache_hit` / `rejected` handles are already terminal, queued handles
+  /// retire when a runner finishes (or refuses) them.  Thread-safe.
+  job_ptr submit(job_desc desc, typed_job_fn fn) {
+    auto pinned = registry_.lookup(desc.graph);
+    if (!pinned) {
+      job_ptr j(new job(0, std::move(desc)));
+      job_scheduler::retire(j, job_status::rejected, nullptr,
+                            "unknown graph: " + j->desc().graph);
+      stats_.on_rejected();
+      return j;
+    }
+
+    cache_key const key{desc.graph, pinned.epoch, desc.algorithm,
+                        desc.params};
+    if (desc.use_cache && cache_.capacity() != 0) {
+      if (auto hit = cache_.lookup(key)) {
+        job_ptr j(new job(0, std::move(desc)));
+        j->epoch_ = pinned.epoch;
+        job_scheduler::retire(j, job_status::cache_hit, std::move(hit), {});
+        return j;
+      }
+      // miss already counted by cache_.lookup
+    }
+
+    bool const cacheable = desc.use_cache && cache_.capacity() != 0;
+    return scheduler_.submit(
+        std::move(desc),
+        [this, pinned, key, cacheable,
+         fn = std::move(fn)](job_context& ctx) -> std::shared_ptr<void const> {
+          // Dequeue-time re-check: an identical query that completed while
+          // this one waited in the queue supplies the result without
+          // re-enacting (duplicate suppression for bursts of the same
+          // query).  The job still retires as `completed` — determinism
+          // makes the cached result indistinguishable from a re-run.
+          if (cacheable)
+            if (auto hit = cache_.lookup(key))
+              return hit;
+          auto result = fn(*pinned.graph, ctx);
+          // Only converged results are cacheable: a deadline-truncated or
+          // cancelled enactment is a partial answer.  `fired()` reads the
+          // recorded outcome instead of re-evaluating the clock, so a job
+          // that converged just before its deadline still caches.
+          if (cacheable && result &&
+              ctx.fired() == job_context::kFiredNone)
+            cache_.insert(key, result);
+          return result;
+        },
+        pinned.epoch);
+  }
+
+  /// Convenience: submit and block for the terminal status.
+  job_ptr run(job_desc desc, typed_job_fn fn) {
+    auto j = submit(std::move(desc), std::move(fn));
+    j->wait();
+    return j;
+  }
+
+ private:
+  engine_stats stats_;
+  graph_registry<GraphT> registry_;
+  result_cache cache_;
+  job_scheduler scheduler_;
+};
+
+}  // namespace essentials::engine

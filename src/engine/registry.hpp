@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file engine/registry.hpp
+/// \brief The graph registry: named, epoch-versioned, immutable graph
+/// snapshots — the "many enactments over shared graphs" substrate of the
+/// analytics engine.
+///
+/// Design: every published snapshot is a `shared_ptr<GraphT const>`.
+/// Lookup *pins* the current epoch: a job holds the shared_ptr for its
+/// whole enactment, so an ingest thread can publish epoch N+1 while
+/// readers finish on epoch N — the new epoch becomes visible to *new*
+/// lookups instantly, old epochs die when their last reader drops them.
+/// This is RCU-by-shared_ptr, the standard epoch scheme of serving
+/// systems, and it is exactly why `dynamic_graph_t::to_coo()` only needs
+/// bucket-atomicity: consistency of the *published* graph is this layer's
+/// job, immutability makes it trivial.
+///
+/// Epochs are per-name and strictly increasing.  Publishing fires
+/// subscriber callbacks (cache invalidation, metrics) *after* the swap,
+/// outside the registry lock — subscribers may call back into the
+/// registry.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/dynamic.hpp"
+
+namespace essentials::engine {
+
+/// A pinned snapshot: the graph plus the epoch it belongs to.  Holding the
+/// shared_ptr keeps this epoch alive regardless of later publishes.
+template <typename GraphT>
+struct pinned_graph {
+  std::shared_ptr<GraphT const> graph;
+  std::uint64_t epoch = 0;
+  explicit operator bool() const { return graph != nullptr; }
+};
+
+template <typename GraphT>
+class graph_registry {
+ public:
+  using graph_type = GraphT;
+
+  /// Callback fired after a publish: (name, new epoch).
+  using subscriber = std::function<void(std::string const&, std::uint64_t)>;
+
+  graph_registry() = default;
+  graph_registry(graph_registry const&) = delete;
+  graph_registry& operator=(graph_registry const&) = delete;
+
+  /// Publish `g` as the next epoch of `name` (epoch 1 for a new name).
+  /// Returns the pinned snapshot just published.  In-flight readers of the
+  /// previous epoch are unaffected — they hold their own pins.
+  pinned_graph<GraphT> publish(std::string const& name, GraphT g) {
+    return publish_shared(name,
+                          std::make_shared<GraphT const>(std::move(g)));
+  }
+
+  /// Publish an externally built snapshot (e.g. the shared_ptr returned by
+  /// `dynamic_graph_t::publish_epoch`).
+  pinned_graph<GraphT> publish_shared(std::string const& name,
+                                      std::shared_ptr<GraphT const> g) {
+    expects(g != nullptr, "graph_registry: cannot publish a null graph");
+    pinned_graph<GraphT> pinned;
+    std::vector<subscriber> subs;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto& slot = graphs_[name];
+      slot.graph = std::move(g);
+      slot.epoch += 1;
+      pinned = {slot.graph, slot.epoch};
+      subs = subscribers_;  // snapshot: callbacks run outside the lock
+    }
+    for (auto const& s : subs)
+      s(name, pinned.epoch);
+    return pinned;
+  }
+
+  /// Snapshot a dynamic (ingest) graph and publish it as the next epoch —
+  /// the convenience path an ingest loop calls at epoch boundaries.
+  template <typename V, typename E, typename W>
+  pinned_graph<GraphT> publish(std::string const& name,
+                               graph::dynamic_graph_t<V, E, W> const& dyn) {
+    return publish(name, dyn.template snapshot<GraphT>());
+  }
+
+  /// Pin the current epoch of `name`; empty pin when unknown.
+  pinned_graph<GraphT> lookup(std::string const& name) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = graphs_.find(name);
+    if (it == graphs_.end())
+      return {};
+    return {it->second.graph, it->second.epoch};
+  }
+
+  /// Current epoch of `name` (0 == never published).
+  std::uint64_t epoch(std::string const& name) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = graphs_.find(name);
+    return it == graphs_.end() ? 0 : it->second.epoch;
+  }
+
+  /// Remove a graph (its epochs survive in readers' pins).  Returns
+  /// whether the name existed.
+  bool remove(std::string const& name) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return graphs_.erase(name) != 0;
+  }
+
+  /// Register a publish callback (the engine wires cache invalidation
+  /// here).  Callbacks run on the publishing thread, after the swap,
+  /// outside the registry lock.
+  void subscribe(subscriber s) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    subscribers_.push_back(std::move(s));
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return graphs_.size();
+  }
+
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::string> out;
+    out.reserve(graphs_.size());
+    for (auto const& [name, slot] : graphs_)
+      out.push_back(name);
+    return out;
+  }
+
+ private:
+  struct slot_t {
+    std::shared_ptr<GraphT const> graph;
+    std::uint64_t epoch = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, slot_t> graphs_;
+  std::vector<subscriber> subscribers_;
+};
+
+}  // namespace essentials::engine

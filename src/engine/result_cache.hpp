@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file engine/result_cache.hpp
+/// \brief Memoization layer for analytics queries: an LRU cache keyed by
+/// (graph name, epoch, algorithm id, canonicalized params).
+///
+/// The serving observation behind it: analytics traffic is heavily skewed —
+/// SSSP from a hot source, PPR from the same seed set, BFS from a landing
+/// page — so identical (graph, epoch, algo, params) queries recur within an
+/// epoch.  Because every enactment in this framework is deterministic for a
+/// fixed graph snapshot (see docs/ARCHITECTURE.md, "Determinism policy"),
+/// a cached result is *bit-identical* to a re-enactment, and serving it is
+/// pure win.
+///
+/// Epoch correctness: the epoch is part of the key, so a query against a
+/// newly published epoch can never match a stale entry even if invalidation
+/// raced with the lookup.  `invalidate_graph(name)` additionally evicts all
+/// entries of a graph eagerly on publish (no point keeping results nobody
+/// can key to anymore) — that is the hook the registry publish path calls.
+///
+/// Values are type-erased (`shared_ptr<void const>`): the engine serves
+/// heterogeneous result types (bfs_result, sssp_result, ppr_result...) out
+/// of one cache; the typed accessor lives on the job handle
+/// (`job::result_as<R>()`), where the caller knows which algorithm it
+/// asked for.  shared_ptr ownership means an entry can be evicted while a
+/// client still holds the result — eviction frees the *slot*, never the
+/// data under a reader.
+///
+/// Concurrency: one mutex around map + LRU list.  Lookups and inserts are
+/// O(1) map operations plus a list splice; the critical section never runs
+/// user code and never allocates proportionally to the value.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/stats.hpp"
+
+namespace essentials::engine {
+
+/// Cache key: the full identity of a deterministic analytics query.
+struct cache_key {
+  std::string graph;      ///< registry name
+  std::uint64_t epoch = 0;  ///< registry epoch the query ran against
+  std::string algorithm;  ///< algorithm id ("sssp", "bfs", ...)
+  std::string params;     ///< canonicalized parameters ("src=42")
+
+  bool operator==(cache_key const&) const = default;
+};
+
+struct cache_key_hash {
+  std::size_t operator()(cache_key const& k) const noexcept {
+    // FNV-1a over the textual identity; epoch mixed in as bytes.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](char const* data, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+      }
+    };
+    mix(k.graph.data(), k.graph.size());
+    mix("\x1f", 1);
+    mix(reinterpret_cast<char const*>(&k.epoch), sizeof(k.epoch));
+    mix(k.algorithm.data(), k.algorithm.size());
+    mix("\x1f", 1);
+    mix(k.params.data(), k.params.size());
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class result_cache {
+ public:
+  /// `capacity` bounds the number of entries (LRU eviction past it);
+  /// `stats`, when provided, receives hit/miss/eviction/invalidation
+  /// counts.  capacity == 0 disables caching (every probe misses).
+  explicit result_cache(std::size_t capacity, engine_stats* stats = nullptr)
+      : capacity_(capacity), stats_(stats) {}
+
+  result_cache(result_cache const&) = delete;
+  result_cache& operator=(result_cache const&) = delete;
+
+  /// O(1) probe; promotes the entry to most-recently-used on hit.
+  std::shared_ptr<void const> lookup(cache_key const& key) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = map_.find(key);
+    if (it == map_.end()) {
+      if (stats_)
+        stats_->on_cache_miss();
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    if (stats_)
+      stats_->on_cache_hit();
+    return it->second->value;
+  }
+
+  /// Insert (or refresh) an entry; evicts the least-recently-used entry
+  /// when past capacity.  Null values are not cached.
+  void insert(cache_key key, std::shared_ptr<void const> value) {
+    if (!value || capacity_ == 0)
+      return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(entry{key, std::move(value)});
+    map_.emplace(std::move(key), lru_.begin());
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      if (stats_)
+        stats_->on_cache_eviction();
+    }
+  }
+
+  /// Drop every entry belonging to `graph` (all epochs) — called when a new
+  /// epoch of that graph is published.  Entries of other graphs survive.
+  /// Returns the number of entries dropped.
+  std::size_t invalidate_graph(std::string const& graph) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.graph == graph) {
+        map_.erase(it->key);
+        it = lru_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (stats_ && dropped)
+      stats_->on_cache_invalidation(dropped);
+    return dropped;
+  }
+
+  /// Drop everything.
+  void clear() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    map_.clear();
+    lru_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return map_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct entry {
+    cache_key key;
+    std::shared_ptr<void const> value;
+  };
+
+  std::size_t capacity_;
+  engine_stats* stats_;
+  mutable std::mutex mutex_;
+  std::list<entry> lru_;  // front == most recently used
+  std::unordered_map<cache_key, std::list<entry>::iterator, cache_key_hash>
+      map_;
+};
+
+}  // namespace essentials::engine

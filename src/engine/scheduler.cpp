@@ -1,0 +1,248 @@
+#include "engine/scheduler.hpp"
+
+#include <exception>
+
+namespace essentials::engine {
+
+job_scheduler::job_scheduler(scheduler_options opt, engine_stats* stats)
+    : opt_{opt.num_runners == 0 ? 1 : opt.num_runners, opt.max_queued},
+      stats_(stats) {
+  runners_.reserve(opt_.num_runners);
+  for (std::size_t i = 0; i < opt_.num_runners; ++i)
+    runners_.emplace_back([this] { runner_loop(); });
+}
+
+job_scheduler::~job_scheduler() {
+  shutdown(/*run_queued=*/false);
+}
+
+job_ptr job_scheduler::submit(job_desc desc, job_fn fn,
+                              std::uint64_t graph_epoch) {
+  auto const now = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  // The handle is created under the lock so ids are dense and ordered.
+  job_ptr j(new job(next_id_++, std::move(desc)));
+  j->submitted_at_ = now;
+  j->epoch_ = graph_epoch;
+  if (j->desc_.deadline.count() > 0)
+    j->budget_ = enactor::time_budget::until(now + j->desc_.deadline);
+  j->fn_ = std::move(fn);
+
+  if (stopping_) {
+    lock.unlock();
+    retire(j, job_status::rejected, nullptr, "scheduler is shut down");
+    if (stats_)
+      stats_->on_rejected();
+    return j;
+  }
+  if (queue_.size() >= opt_.max_queued) {
+    lock.unlock();
+    retire(j, job_status::rejected, nullptr,
+           "admission control: queue full (" +
+               std::to_string(opt_.max_queued) + " waiting jobs)");
+    if (stats_)
+      stats_->on_rejected();
+    return j;
+  }
+
+  queue_.push(queued_item{j->desc_.priority, next_seq_++, j});
+  if (stats_)
+    stats_->on_submitted();
+  lock.unlock();
+  work_cv_.notify_one();
+  return j;
+}
+
+void job_scheduler::shutdown(bool run_queued) {
+  std::vector<job_ptr> dropped;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_backlog_ = run_queued;
+    }
+    if (!drain_backlog_) {
+      // Lossless drain: every queued job retires as cancelled — accounted,
+      // never silently lost.
+      while (!queue_.empty()) {
+        dropped.push_back(queue_.top().j);
+        queue_.pop();
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (auto const& j : dropped) {
+    retire(j, job_status::cancelled, nullptr, "scheduler shutdown");
+    count_terminal(job_status::cancelled);
+  }
+  for (auto& r : runners_)
+    if (r.joinable())
+      r.join();
+}
+
+std::size_t job_scheduler::queued() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return queue_.size();
+}
+
+std::size_t job_scheduler::running() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return running_;
+}
+
+void job_scheduler::runner_loop() {
+  for (;;) {
+    job_ptr j;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_)
+          return;
+        continue;  // spurious wake with an empty queue
+      }
+      if (stopping_ && !drain_backlog_)
+        return;  // backlog already retired by shutdown()
+      j = queue_.top().j;
+      queue_.pop();
+      ++running_;
+    }
+    run_job(j);
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      --running_;
+    }
+  }
+}
+
+void job_scheduler::run_job(job_ptr const& j) {
+  auto const popped_at = std::chrono::steady_clock::now();
+  double const queue_ms =
+      std::chrono::duration<double, std::milli>(popped_at - j->submitted_at_)
+          .count();
+  {
+    std::lock_guard<std::mutex> guard(j->mutex_);
+    j->queue_ms_ = queue_ms;
+  }
+  if (stats_)
+    stats_->add_queue_wait_ms(queue_ms);
+
+  // Pre-run triage: a job whose deadline elapsed while it queued, or that
+  // was cancelled while waiting, never enacts — queue wait counts against
+  // the latency budget, as it must in a serving system.
+  if (j->budget_.expired()) {
+    retire(j, job_status::deadline_expired, nullptr,
+           "deadline elapsed while queued");
+    count_terminal(job_status::deadline_expired);
+    return;
+  }
+  if (j->token_.cancelled()) {
+    retire(j, job_status::cancelled, nullptr, "cancelled while queued");
+    count_terminal(job_status::cancelled);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(j->mutex_);
+    j->status_ = job_status::running;
+  }
+  if (stats_)
+    stats_->on_enacted();
+
+  job_context ctx(j->token_, j->budget_, &j->fired_);
+  std::shared_ptr<void const> result;
+  std::string error;
+  bool threw = false;
+  auto const run_start = std::chrono::steady_clock::now();
+  {
+    // Job-scoped telemetry: record_trace jobs get a trace tagged with
+    // their id/tag/epoch (telemetry schema v3) captured on this runner
+    // thread; others pay one null-pointer test.
+    std::unique_ptr<telemetry::scoped_recording> recording;
+    if (j->desc_.record_trace) {
+      recording = std::make_unique<telemetry::scoped_recording>(
+          j->trace_, j->desc_.algorithm);
+      j->trace_.job_id = j->id_;
+      j->trace_.job_tag = j->desc_.algorithm +
+                          (j->desc_.params.empty() ? std::string{}
+                                                   : "(" + j->desc_.params + ")");
+      j->trace_.graph_epoch = j->epoch_;
+    }
+    try {
+      result = j->fn_(ctx);
+    } catch (std::exception const& e) {
+      threw = true;
+      error = e.what();
+    } catch (...) {
+      threw = true;
+      error = "unknown exception";
+    }
+  }
+  double const run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
+  {
+    std::lock_guard<std::mutex> guard(j->mutex_);
+    j->run_ms_ = run_ms;
+  }
+  if (stats_)
+    stats_->add_run_ms(run_ms);
+
+  job_status status;
+  if (threw) {
+    status = job_status::failed;
+  } else {
+    // Classify from the context's fired record, not from re-reading racy
+    // clocks: a job that converged naturally a hair before its deadline is
+    // `completed`, not `deadline_expired`.
+    switch (j->fired_.load(std::memory_order_relaxed)) {
+      case job_context::kFiredDeadline:
+        status = job_status::deadline_expired;
+        break;
+      case job_context::kFiredCancelled:
+        status = job_status::cancelled;
+        break;
+      default:
+        status = job_status::completed;
+        break;
+    }
+  }
+  retire(j, status, status == job_status::completed ? std::move(result) : nullptr,
+         std::move(error));
+  count_terminal(status);
+}
+
+void job_scheduler::retire(job_ptr const& j, job_status s,
+                           std::shared_ptr<void const> result,
+                           std::string error) {
+  {
+    std::lock_guard<std::mutex> guard(j->mutex_);
+    j->status_ = s;
+    j->result_ = std::move(result);
+    j->error_ = std::move(error);
+  }
+  j->done_cv_.notify_all();
+}
+
+void job_scheduler::count_terminal(job_status s) {
+  if (!stats_)
+    return;
+  switch (s) {
+    case job_status::completed:
+      stats_->on_completed();
+      break;
+    case job_status::failed:
+      stats_->on_failed();
+      break;
+    case job_status::cancelled:
+      stats_->on_cancelled();
+      break;
+    case job_status::deadline_expired:
+      stats_->on_deadline_expired();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace essentials::engine

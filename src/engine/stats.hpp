@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file engine/stats.hpp
+/// \brief Engine-level aggregate metrics: the per-job telemetry rollup of
+/// the concurrent analytics engine (submissions, completions, rejections,
+/// cancellations, deadline expiries, cache hits/misses, queue-wait and run
+/// wall time), with JSON export in the style of core/telemetry.hpp.
+///
+/// Relationship to the telemetry layer: core/telemetry.hpp records the
+/// *inside* of one enactment (supersteps, operator work counts);
+/// engine_stats records the *outside* of many (what happened to each job
+/// between submission and retirement).  A job that records a trace gets
+/// both: the trace is tagged with its job id/tag (telemetry schema v3) and
+/// the engine counters account for its lifecycle.
+///
+/// Concurrency: counters are relaxed atomics bumped from runner threads and
+/// the submission path; `snapshot()` reads them relaxedly — the exported
+/// numbers are a monitoring view, never a synchronization device (same
+/// contract as thread_pool::stats()).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace essentials::engine {
+
+/// Plain-value snapshot of the engine counters (safe to copy, print, diff).
+struct engine_stats_snapshot {
+  std::uint64_t submitted = 0;         ///< jobs accepted by admission control
+  std::uint64_t rejected = 0;          ///< jobs refused (queue bound / shutdown / unknown graph)
+  std::uint64_t completed = 0;         ///< jobs that ran to convergence
+  std::uint64_t failed = 0;            ///< jobs whose enactment threw
+  std::uint64_t cancelled = 0;         ///< jobs stopped by cancel_token
+  std::uint64_t deadline_expired = 0;  ///< jobs stopped by their deadline
+  std::uint64_t cache_hits = 0;        ///< queries served from the result cache
+  std::uint64_t cache_misses = 0;      ///< cacheable queries that had to enact
+  std::uint64_t cache_evictions = 0;   ///< LRU evictions
+  std::uint64_t cache_invalidations = 0;  ///< entries dropped on epoch publish
+  std::uint64_t jobs_enacted = 0;      ///< enactments actually launched
+  double queue_ms_total = 0.0;         ///< sum of per-job queue wait
+  double run_ms_total = 0.0;           ///< sum of per-job run wall time
+
+  /// Jobs retired in any terminal state (excluding cache hits, which never
+  /// enter the queue).
+  std::uint64_t retired() const {
+    return completed + failed + cancelled + deadline_expired;
+  }
+  double hit_ratio() const {
+    std::uint64_t const total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Thread-safe counter block shared by scheduler, cache and engine facade.
+class engine_stats {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, relaxed); }
+  void on_completed() { completed_.fetch_add(1, relaxed); }
+  void on_failed() { failed_.fetch_add(1, relaxed); }
+  void on_cancelled() { cancelled_.fetch_add(1, relaxed); }
+  void on_deadline_expired() { deadline_expired_.fetch_add(1, relaxed); }
+  void on_cache_hit() { cache_hits_.fetch_add(1, relaxed); }
+  void on_cache_miss() { cache_misses_.fetch_add(1, relaxed); }
+  void on_cache_eviction() { cache_evictions_.fetch_add(1, relaxed); }
+  void on_cache_invalidation(std::size_t n) {
+    cache_invalidations_.fetch_add(n, relaxed);
+  }
+  void on_enacted() { jobs_enacted_.fetch_add(1, relaxed); }
+  void add_queue_wait_ms(double ms) {
+    queue_us_.fetch_add(to_us(ms), relaxed);
+  }
+  void add_run_ms(double ms) { run_us_.fetch_add(to_us(ms), relaxed); }
+
+  engine_stats_snapshot snapshot() const {
+    engine_stats_snapshot s;
+    s.submitted = submitted_.load(relaxed);
+    s.rejected = rejected_.load(relaxed);
+    s.completed = completed_.load(relaxed);
+    s.failed = failed_.load(relaxed);
+    s.cancelled = cancelled_.load(relaxed);
+    s.deadline_expired = deadline_expired_.load(relaxed);
+    s.cache_hits = cache_hits_.load(relaxed);
+    s.cache_misses = cache_misses_.load(relaxed);
+    s.cache_evictions = cache_evictions_.load(relaxed);
+    s.cache_invalidations = cache_invalidations_.load(relaxed);
+    s.jobs_enacted = jobs_enacted_.load(relaxed);
+    s.queue_ms_total = static_cast<double>(queue_us_.load(relaxed)) / 1000.0;
+    s.run_ms_total = static_cast<double>(run_us_.load(relaxed)) / 1000.0;
+    return s;
+  }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  static std::uint64_t to_us(double ms) {
+    return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
+  }
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_evictions_{0};
+  std::atomic<std::uint64_t> cache_invalidations_{0};
+  std::atomic<std::uint64_t> jobs_enacted_{0};
+  std::atomic<std::uint64_t> queue_us_{0};  // microseconds (atomic-friendly)
+  std::atomic<std::uint64_t> run_us_{0};
+};
+
+/// Serialize a snapshot as a self-describing JSON object, schema-sistered
+/// to the telemetry export (docs/API.md, "Engine metrics").
+inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
+  os << "{\"engine_stats_version\":1"
+     << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
+     << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
+     << ",\"cancelled\":" << s.cancelled
+     << ",\"deadline_expired\":" << s.deadline_expired
+     << ",\"cache_hits\":" << s.cache_hits
+     << ",\"cache_misses\":" << s.cache_misses
+     << ",\"cache_evictions\":" << s.cache_evictions
+     << ",\"cache_invalidations\":" << s.cache_invalidations
+     << ",\"jobs_enacted\":" << s.jobs_enacted
+     << ",\"hit_ratio\":" << s.hit_ratio()
+     << ",\"queue_ms_total\":" << s.queue_ms_total
+     << ",\"run_ms_total\":" << s.run_ms_total << "}";
+}
+
+inline bool write_json(engine_stats_snapshot const& s,
+                       std::string const& path) {
+  std::ofstream os(path);
+  if (!os)
+    return false;
+  write_json(s, os);
+  os << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace essentials::engine

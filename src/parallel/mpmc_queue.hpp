@@ -24,9 +24,23 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace essentials::parallel {
 
+/// Shutdown/drain contract (audited; regression-tested under TSAN in
+/// tests/test_parallel.cpp, suite MpmcQueue):
+///  - After `close()` every pop — blocked or future — returns false, even if
+///    items were queued at close time or a racing producer pushes later:
+///    pushes after close are dropped (and do not leak pending slots).
+///  - `close()` removes queued items AND releases their pending slots, so
+///    `is_quiescent()` converges to true once in-flight consumers call
+///    `done_processing()`; it never wedges on slots owned by discarded
+///    items.
+///  - `drain()` is the lossless shutdown: closes the queue and hands the
+///    not-yet-popped items back to the caller, who can account for them
+///    (e.g. a scheduler marking queued jobs "cancelled" instead of silently
+///    dropping them).
 template <typename T>
 class mpmc_queue {
  public:
@@ -35,29 +49,39 @@ class mpmc_queue {
   mpmc_queue& operator=(mpmc_queue const&) = delete;
 
   /// Push one work item.  Safe from any thread, including consumers that are
-  /// mid-processing (their own pending slot keeps the queue alive).
-  void push(T value) {
+  /// mid-processing (their own pending slot keeps the queue alive).  Returns
+  /// false (item dropped) when the queue was closed.
+  bool push(T value) {
     {
       std::lock_guard<std::mutex> guard(mutex_);
+      if (closed_)
+        return false;
       items_.push_back(std::move(value));
       ++pending_;
     }
     not_empty_.notify_one();
+    return true;
   }
 
-  /// Push a batch under one lock acquisition (CP.43).
+  /// Push a batch under one lock acquisition (CP.43).  Returns the number of
+  /// items accepted (0 when closed).
   template <typename Iterator>
-  void push_batch(Iterator first, Iterator last) {
+  std::size_t push_batch(Iterator first, Iterator last) {
     if (first == last)
-      return;
+      return 0;
+    std::size_t accepted = 0;
     {
       std::lock_guard<std::mutex> guard(mutex_);
+      if (closed_)
+        return 0;
       for (; first != last; ++first) {
         items_.push_back(*first);
         ++pending_;
+        ++accepted;
       }
     }
     not_empty_.notify_all();
+    return accepted;
   }
 
   /// Blocking pop.  Returns true with a value, or false when the algorithm
@@ -70,7 +94,7 @@ class mpmc_queue {
     not_empty_.wait(lock, [this] {
       return !items_.empty() || pending_ == 0 || closed_;
     });
-    if (items_.empty())
+    if (closed_ || items_.empty())
       return false;  // terminated (quiescent) or closed
     out = std::move(items_.front());
     items_.pop_front();
@@ -79,10 +103,11 @@ class mpmc_queue {
   }
 
   /// Non-blocking pop; returns nullopt when nothing is queued *right now*
-  /// (the algorithm may or may not have terminated — check is_quiescent()).
+  /// (the algorithm may or may not have terminated — check is_quiescent())
+  /// or when the queue is closed.
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> guard(mutex_);
-    if (items_.empty())
+    if (closed_ || items_.empty())
       return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -103,14 +128,42 @@ class mpmc_queue {
   }
 
   /// Force-terminate: wake all consumers; subsequent pops return false even
-  /// if items remain (used for early-exit convergence conditions).
+  /// if items remain (used for early-exit convergence conditions).  Queued
+  /// items are discarded and their pending slots released — only in-flight
+  /// consumers still owe a done_processing().
   void close() {
     {
       std::lock_guard<std::mutex> guard(mutex_);
       closed_ = true;
+      pending_ -= items_.size();  // discarded items release their slots
       items_.clear();
     }
     not_empty_.notify_all();
+  }
+
+  /// Lossless shutdown: close the queue and return every item that was
+  /// queued but never popped, so the caller can account for each one (the
+  /// scheduler marks them cancelled; losing them silently would leak
+  /// promised work).  Pending slots of the drained items are released.
+  std::vector<T> drain() {
+    std::vector<T> remaining;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      closed_ = true;
+      remaining.reserve(items_.size());
+      for (auto& item : items_)
+        remaining.push_back(std::move(item));
+      pending_ -= items_.size();
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    return remaining;
+  }
+
+  /// True once close()/drain() was called.
+  bool is_closed() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return closed_;
   }
 
   /// Items currently queued (racy snapshot — monitoring only).

@@ -35,16 +35,42 @@ void thread_pool::submit(std::function<void()> task) {
   has_work_.notify_one();
 }
 
+void thread_pool::submit_urgent(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    urgent_queue_.push_back(std::move(task));
+  }
+  has_work_.notify_one();
+}
+
+std::size_t thread_pool::discard_pending() {
+  std::size_t discarded;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    discarded = queue_.size() + urgent_queue_.size();
+    queue_.clear();
+    urgent_queue_.clear();
+  }
+  if (discarded != 0 &&
+      pending_.fetch_sub(discarded, std::memory_order_acq_rel) == discarded)
+    all_idle_.notify_all();
+  return discarded;
+}
+
 void thread_pool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      has_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty())
+      has_work_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !urgent_queue_.empty();
+      });
+      if (stopping_ && queue_.empty() && urgent_queue_.empty())
         return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      auto& source = urgent_queue_.empty() ? queue_ : urgent_queue_;
+      task = std::move(source.front());
+      source.pop_front();
     }
     busy_.fetch_add(1, std::memory_order_relaxed);
     task();  // user exceptions terminate by design: a lost superstep chunk

@@ -50,6 +50,26 @@ class thread_pool {
   /// on any worker at any later time; use wait_idle() for a full barrier.
   void submit(std::function<void()> task);
 
+  /// Enqueue a task ahead of every normal-priority task (but behind other
+  /// urgent tasks — urgency is a class, not a total order).  Used by layers
+  /// that multiplex latency-sensitive work onto the shared pool: a
+  /// deadline-critical job's operator chunks should not queue behind a
+  /// backlog of batch work.  Starvation-safe by construction: `run_blocked`
+  /// chunks of an already-running normal task were dequeued before the
+  /// urgent submission, and the urgent class is expected to be sparse.
+  void submit_urgent(std::function<void()> task);
+
+  /// Shutdown drain: remove every *queued but not yet started* task (both
+  /// priority classes) and return how many were discarded.  Running tasks
+  /// are unaffected; their completion still releases pending slots.  Lets an
+  /// owner tear down promptly without executing a backlog it no longer
+  /// wants — the complement of the destructor, which runs the backlog to
+  /// completion.  NOTE: never discard tasks whose completion someone waits
+  /// on (run_blocked chunks count down a latch); this is for fire-and-forget
+  /// backlogs only, which is why the engine scheduler keeps its *job* queue
+  /// outside the pool and uses this only as a belt-and-braces drain.
+  std::size_t discard_pending();
+
   /// Execute `fn(chunk_begin, chunk_end)` over a partition of [0, n) and
   /// block until all chunks completed (bulk-synchronous model).  The calling
   /// thread participates in the work, so a pool of size P uses P+1 lanes and
@@ -96,7 +116,8 @@ class thread_pool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;         // normal priority
+  std::deque<std::function<void()>> urgent_queue_;  // popped first
   mutable std::mutex mutex_;
   std::condition_variable has_work_;
   std::condition_variable all_idle_;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/enactor.hpp"
@@ -271,4 +273,114 @@ TEST(AsyncLoop, RejectsZeroWorkers) {
   fr::async_queue_frontier<vertex_t> f;
   EXPECT_THROW(en::async_loop(f, 0, [](vertex_t) {}),
                essentials::graph_error);
+}
+
+// --- cancellation / deadline conditions (engine satellite) ------------------
+
+TEST(BspLoopConditions, CancelTokenStopsLoopAtSuperstepBoundary) {
+  en::cancel_token token;
+  // Step keeps the frontier the same size forever; only cancellation (or
+  // the iteration cap) can stop it.  Cancel after the third superstep.
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(4, 0));
+  std::size_t steps = 0;
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [&](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        if (++steps == 3)
+          token.request_cancel();
+        return in;
+      },
+      en::any_of{en::frontier_empty{}, en::cancelled{token}});
+  EXPECT_EQ(stats.iterations, 3u);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(BspLoopConditions, CancelTokenCopiesShareTheFlag) {
+  en::cancel_token a;
+  en::cancel_token b = a;  // copy shares the flag
+  EXPECT_FALSE(b.cancelled());
+  a.request_cancel();
+  EXPECT_TRUE(b.cancelled());
+  b.reset();
+  EXPECT_FALSE(a.cancelled());
+}
+
+TEST(BspLoopConditions, TimeBudgetExpiresAndStopsLoop) {
+  using namespace std::chrono_literals;
+  en::time_budget budget(5ms);
+  EXPECT_FALSE(en::time_budget::unlimited().expired());
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(2, 0));
+  auto const stats = en::bsp_loop(
+      std::move(f),
+      [](fr::sparse_frontier<vertex_t> in, std::size_t) {
+        std::this_thread::sleep_for(2ms);
+        return in;  // never converges on its own
+      },
+      en::any_of{en::frontier_empty{}, budget});
+  // Cooperative stop: at most one superstep of overshoot past the budget.
+  EXPECT_GE(stats.iterations, 1u);
+  EXPECT_LE(stats.iterations, 16u);
+  EXPECT_TRUE(budget.expired());
+}
+
+TEST(BspLoopConditions, TimeBudgetUntilHonoursAbsoluteDeadline) {
+  auto const deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  auto const budget = en::time_budget::until(deadline);
+  EXPECT_EQ(budget.deadline(), deadline);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(budget.expired());
+}
+
+TEST(BspLoopConditions, CancelledOrDeadlineReportsWhichFired) {
+  using namespace std::chrono_literals;
+  en::cancel_token token;
+  en::cancelled_or_deadline both{token, en::time_budget::unlimited()};
+  EXPECT_EQ(both.why(), en::cancelled_or_deadline::reason::none);
+  token.request_cancel();
+  EXPECT_EQ(both.why(), en::cancelled_or_deadline::reason::cancelled);
+
+  en::cancelled_or_deadline expired{en::cancel_token{}, en::time_budget(0ms)};
+  std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(expired.why(), en::cancelled_or_deadline::reason::deadline);
+
+  // Deadline wins ties: both fired => classified as deadline.
+  en::cancel_token t2;
+  t2.request_cancel();
+  en::cancelled_or_deadline tie{t2, en::time_budget(0ms)};
+  std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(tie.why(), en::cancelled_or_deadline::reason::deadline);
+  fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>(1, 0));
+  EXPECT_TRUE(tie(f, 0));
+}
+
+TEST(AsyncLoop, StoppableVariantClosesQueueOnCancel) {
+  en::cancel_token token;
+  fr::async_queue_frontier<vertex_t> f;
+  f.add_vertex(0);
+  std::atomic<int> seen{0};
+  // Self-sustaining workload: every item spawns a successor, so only the
+  // stop predicate can end the loop.  Cancel after 50 items.
+  auto const processed = en::async_loop(
+      f, 4,
+      [&](vertex_t v) {
+        if (seen.fetch_add(1) + 1 == 50)
+          token.request_cancel();
+        f.add_vertex(v + 1);
+      },
+      [&token] { return token.cancelled(); });
+  EXPECT_GE(processed, 50u);   // everything before the cancel was processed
+  EXPECT_LE(processed, 54u);   // ...plus at most one in-flight item per lane
+}
+
+TEST(AsyncLoop, StoppableVariantRunsToQuiescenceWhenNeverStopped) {
+  fr::async_queue_frontier<vertex_t> f;
+  for (vertex_t v = 0; v < 25; ++v)
+    f.add_vertex(v);
+  std::atomic<int> count{0};
+  auto const processed = en::async_loop(
+      f, 3, [&count](vertex_t) { count.fetch_add(1); },
+      [] { return false; });
+  EXPECT_EQ(processed, 25u);
+  EXPECT_EQ(count.load(), 25);
 }

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -83,6 +85,55 @@ TEST(ThreadPool, NestedRunBlockedFromWorkerDoesNotDeadlock) {
       inner.fetch_add(1);
   });
   EXPECT_EQ(inner.load(), 4);
+}
+
+TEST(ThreadPool, UrgentTasksJumpTheQueue) {
+  p::thread_pool pool(1);  // one lane => deterministic execution order
+  std::mutex m;
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  // Occupy the single worker so subsequent submissions queue up.
+  pool.submit([&] {
+    while (!release.load())
+      std::this_thread::yield();
+  });
+  for (int i = 0; i < 3; ++i)
+    pool.submit([&, i] {
+      std::lock_guard<std::mutex> g(m);
+      order.push_back(i);
+    });
+  pool.submit_urgent([&] {
+    std::lock_guard<std::mutex> g(m);
+    order.push_back(99);
+  });
+  release.store(true);
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 99);  // the urgent task ran before every queued task
+  EXPECT_EQ((std::vector<int>{order[1], order[2], order[3]}),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, DiscardPendingDropsQueuedNotRunning) {
+  p::thread_pool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load())
+      std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  while (!started.load())  // blocker is running, not queued
+    std::this_thread::yield();
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] { ran.fetch_add(1); });
+  std::size_t const discarded = pool.discard_pending();
+  release.store(true);
+  pool.wait_idle();  // must not wedge: discarded tasks released their slots
+  EXPECT_EQ(discarded, 8u);
+  EXPECT_EQ(ran.load(), 1);  // only the already-running task completed
 }
 
 TEST(ThreadPool, DefaultPoolHasAtLeastFourLanes) {
@@ -403,6 +454,79 @@ TEST(MpmcQueue, PushBatch) {
     q.done_processing();
   }
   EXPECT_EQ(got, std::set<int>({1, 2, 3, 4, 5}));
+}
+
+TEST(MpmcQueue, PushAfterCloseIsDroppedAndReported) {
+  p::mpmc_queue<int> q;
+  q.push(1);
+  q.close();
+  // A closed queue accepts nothing: push reports the drop, batches report
+  // zero accepted, and no pop may ever return a post-close item.
+  EXPECT_FALSE(q.push(2));
+  std::vector<int> items{3, 4, 5};
+  EXPECT_EQ(q.push_batch(items.begin(), items.end()), 0u);
+  int v = 0;
+  EXPECT_FALSE(q.pop(v));  // closed: even pre-close items are discarded
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.is_closed());
+}
+
+TEST(MpmcQueue, CloseReleasesDiscardedSlotsForQuiescence) {
+  // Regression: close() used to clear the deque without decrementing the
+  // pending-work counter, so a queue closed with unpopped items never
+  // became quiescent again.
+  p::mpmc_queue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  q.close();
+  EXPECT_TRUE(q.is_quiescent());
+}
+
+TEST(MpmcQueue, DrainReturnsUnpoppedItemsLosslessly) {
+  p::mpmc_queue<int> q;
+  for (int i = 0; i < 5; ++i)
+    q.push(i);
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));
+  q.done_processing();
+  auto const rest = q.drain();
+  EXPECT_EQ(rest.size(), 4u);  // every item popped exactly once or drained
+  EXPECT_TRUE(q.is_closed());
+  EXPECT_TRUE(q.is_quiescent());
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(MpmcQueue, ConcurrentCloseVsProducersNeverLosesAccountedItem) {
+  // TSAN regression for the shutdown path: producers race close(); every
+  // item is either rejected at push (return false) or popped/drained —
+  // accounted exactly once, and the queue ends quiescent.
+  p::mpmc_queue<int> q;
+  std::atomic<int> accepted{0};
+  std::atomic<int> consumed{0};
+  auto const producer = [&] {
+    for (int i = 0; i < 2000; ++i)
+      if (q.push(i))
+        accepted.fetch_add(1);
+  };
+  auto const consumer = [&] {
+    int v;
+    while (q.pop(v)) {
+      consumed.fetch_add(1);
+      q.done_processing();
+    }
+  };
+  std::thread p0(producer), p1(producer);
+  std::thread c0(consumer), c1(consumer);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto const leftover = q.drain();
+  p0.join();
+  p1.join();
+  c0.join();
+  c1.join();
+  EXPECT_EQ(consumed.load() + static_cast<int>(leftover.size()),
+            accepted.load());
+  EXPECT_TRUE(q.is_quiescent());
 }
 
 // --- lane_buffers -----------------------------------------------------------
