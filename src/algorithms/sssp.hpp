@@ -87,7 +87,13 @@ sssp_result<typename G::weight_type> sssp(P policy, G const& g,
         auto out = operators::neighbors_expand(
             policy, g, in,
             [dist](V const src, V const dst, E const /*edge*/, W const weight) {
-              W const new_d = dist[src] + weight;
+              // The source read is an atomic load: another lane may be
+              // improving dist[src] concurrently via atomic::min on the
+              // same word, and a stale value only costs a re-relaxation
+              // (monotone convergence), never correctness — but the racing
+              // plain read would be UB and trips TSAN now that SSSP runs
+              // in the sanitizer matrix.
+              W const new_d = atomic::load(&dist[src]) + weight;
               // atomic::min updates dist[dst] with the minimum of new_d and
               // its current value, then returns the old value.
               W const curr_d = atomic::min(&dist[dst], new_d);

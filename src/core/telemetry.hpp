@@ -62,8 +62,9 @@ inline constexpr bool compiled_in = (ESSENTIALS_TELEMETRY_ENABLED != 0);
 /// frontier-generation counters (emits_scan / emits_lock / dedup_hits /
 /// scratch_reused) to op records.  v3 adds job-scope tagging (job_id /
 /// job_tag / graph_epoch) so engine-multiplexed traces can be attributed to
-/// the job that produced them.
-inline constexpr int schema_version = 3;
+/// the job that produced them.  v4 adds warm-start attribution (warm_start
+/// / delta_edges / supersteps_saved) for incremental delta-recompute jobs.
+inline constexpr int schema_version = 4;
 
 // ---------------------------------------------------------------------------
 // Trace data model
@@ -152,6 +153,12 @@ struct trace {
   std::uint64_t job_id = 0;    ///< engine job id (0 == standalone run)
   std::string job_tag;         ///< engine job tag (empty == standalone)
   std::uint64_t graph_epoch = 0;  ///< registry epoch the job ran against
+  // Warm-start attribution (schema v4): filled by the engine scheduler when
+  // the job's enactment was seeded incrementally from a prior epoch's
+  // converged result (algorithms/incremental.hpp).
+  bool warm_start = false;            ///< enactment seeded from a warm entry
+  std::uint64_t delta_edges = 0;      ///< delta records that seeded the frontier
+  std::uint64_t supersteps_saved = 0;  ///< prior cold supersteps minus warm ones
   std::vector<superstep_record> supersteps;
 
   std::size_t num_supersteps() const { return supersteps.size(); }
@@ -640,6 +647,11 @@ inline void write_json(trace const& t, std::ostream& os) {
     os << ",\"job_id\":" << t.job_id << ",\"job_tag\":\"";
     detail::json_escape(os, t.job_tag);
     os << "\",\"graph_epoch\":" << t.graph_epoch;
+  }
+  if (t.warm_start || t.delta_edges != 0 || t.supersteps_saved != 0) {
+    os << ",\"warm_start\":" << (t.warm_start ? "true" : "false")
+       << ",\"delta_edges\":" << t.delta_edges
+       << ",\"supersteps_saved\":" << t.supersteps_saved;
   }
   os << ",\"supersteps\":[";
   for (std::size_t i = 0; i < t.supersteps.size(); ++i) {

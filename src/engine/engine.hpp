@@ -49,6 +49,7 @@ struct engine_options {
   std::size_t num_runners = 2;       ///< concurrent jobs in flight
   std::size_t max_queued = 64;       ///< admission bound
   std::size_t cache_capacity = 128;  ///< result-cache entries (0 disables)
+  bool warm_starts = true;  ///< serve warm-start submissions incrementally
 };
 
 template <typename GraphT>
@@ -62,12 +63,28 @@ class analytics_engine {
   using typed_job_fn = std::function<std::shared_ptr<void const>(
       GraphT const&, job_context&)>;
 
+  using delta_type = typename graph_registry<GraphT>::delta_type;
+
+  /// Warm job body: runs against the pinned snapshot *plus* a stale
+  /// converged result (type-erased, same algorithm/params, older epoch) and
+  /// the edge delta covering (stale epoch, pinned epoch].  The body decides
+  /// whether the delta admits an incremental enactment (insert-only fast
+  /// path) and reports the outcome via `ctx.note_warm_start` /
+  /// `ctx.note_delta_fallback` — engine/warm_jobs.hpp provides canonical
+  /// bodies for SSSP/BFS/CC.
+  using warm_job_fn = std::function<std::shared_ptr<void const>(
+      GraphT const&, std::shared_ptr<void const> const&, delta_type const&,
+      job_context&)>;
+
   explicit analytics_engine(engine_options opt = {})
-      : cache_(opt.cache_capacity, &stats_),
+      : warm_starts_(opt.warm_starts),
+        cache_(opt.cache_capacity, &stats_),
         scheduler_(scheduler_options{opt.num_runners, opt.max_queued},
                    &stats_) {
     // Epoch publication protocol: a new epoch of graph G invalidates
-    // cached results of G only; other graphs' entries survive.
+    // cached results of G only; other graphs' entries survive.  Since PR 4
+    // invalidation *demotes* the newest entry per query identity to a
+    // warm-start seed instead of evicting it (result_cache.hpp).
     registry_.subscribe([this](std::string const& name, std::uint64_t) {
       cache_.invalidate_graph(name);
     });
@@ -132,6 +149,76 @@ class analytics_engine {
         pinned.epoch);
   }
 
+  /// Warm-start-capable submission: like `submit(desc, cold)`, but when the
+  /// exact-epoch lookup misses and the cache still holds a *demoted* entry
+  /// of the same query identity at an older epoch whose delta chain to the
+  /// pinned epoch is intact, the runner invokes `warm(snapshot, stale
+  /// result, delta, ctx)` instead of `cold` — the incremental fast path.
+  /// Every degradation (no warm seed, broken delta chain, warm body decides
+  /// the delta is not monotone) lands on the cold body; a broken chain with
+  /// a warm seed available is additionally counted as a `delta_fallback`.
+  /// Results are cached identically either way — determinism makes the
+  /// warm-started result bit-identical to a cold enactment (differentially
+  /// verified in tests/test_delta.cpp).
+  job_ptr submit(job_desc desc, typed_job_fn cold, warm_job_fn warm) {
+    auto pinned = registry_.lookup(desc.graph);
+    if (!pinned) {
+      job_ptr j(new job(0, std::move(desc)));
+      job_scheduler::retire(j, job_status::rejected, nullptr,
+                            "unknown graph: " + j->desc().graph);
+      stats_.on_rejected();
+      return j;
+    }
+
+    cache_key const key{desc.graph, pinned.epoch, desc.algorithm,
+                        desc.params};
+    bool const cacheable = desc.use_cache && cache_.capacity() != 0;
+    if (cacheable) {
+      if (auto hit = cache_.lookup(key)) {
+        job_ptr j(new job(0, std::move(desc)));
+        j->epoch_ = pinned.epoch;
+        job_scheduler::retire(j, job_status::cache_hit, std::move(hit), {});
+        return j;
+      }
+    }
+
+    return scheduler_.submit(
+        std::move(desc),
+        [this, pinned, key, cacheable, cold = std::move(cold),
+         warm = std::move(warm)](
+            job_context& ctx) -> std::shared_ptr<void const> {
+          if (cacheable)
+            if (auto hit = cache_.lookup(key))
+              return hit;  // dequeue-time duplicate suppression
+          std::shared_ptr<void const> result;
+          bool enacted_warm = false;
+          if (warm_starts_ && cacheable) {
+            // Warm probe at *run* time, not submit time: a duplicate job
+            // that completed while we queued has already refreshed the
+            // cache (handled above), and a publish that happened while we
+            // queued cannot help us — our epoch pin is fixed.
+            if (auto seed = cache_.lookup_warm(key)) {
+              auto const delta =
+                  registry_.delta_between(key.graph, seed.epoch, key.epoch);
+              if (delta.complete) {
+                result = warm(*pinned.graph, seed.value, delta, ctx);
+                enacted_warm = true;
+              } else {
+                // A seed existed but the delta chain is broken: cold run,
+                // counted so operators can see missed warm opportunities.
+                ctx.note_delta_fallback();
+              }
+            }
+          }
+          if (!enacted_warm)
+            result = cold(*pinned.graph, ctx);
+          if (cacheable && result && ctx.fired() == job_context::kFiredNone)
+            cache_.insert(key, result);
+          return result;
+        },
+        pinned.epoch);
+  }
+
   /// Convenience: submit and block for the terminal status.
   job_ptr run(job_desc desc, typed_job_fn fn) {
     auto j = submit(std::move(desc), std::move(fn));
@@ -139,7 +226,15 @@ class analytics_engine {
     return j;
   }
 
+  /// Convenience: warm-capable submit-and-wait.
+  job_ptr run(job_desc desc, typed_job_fn cold, warm_job_fn warm) {
+    auto j = submit(std::move(desc), std::move(cold), std::move(warm));
+    j->wait();
+    return j;
+  }
+
  private:
+  bool const warm_starts_;
   engine_stats stats_;
   graph_registry<GraphT> registry_;
   result_cache cache_;

@@ -19,9 +19,22 @@
 /// subscriber callbacks (cache invalidation, metrics) *after* the swap,
 /// outside the registry lock — subscribers may call back into the
 /// registry.
+///
+/// Delta chains (PR 4): a publish may *carry* the edge delta that led from
+/// the previous epoch to the new one (produced by
+/// `dynamic_graph_t::delta_since`).  The registry keeps a bounded chain of
+/// per-transition deltas per name; `delta_between(name, from, to)` splices
+/// and compacts them so a warm-start job holding a stale epoch's result can
+/// seed an incremental enactment (algorithms/incremental.hpp).  A publish
+/// without a delta (or from a different source graph) breaks the chain —
+/// `delta_between` across the break reports `complete == false` and the
+/// consumer falls back to a cold enactment.  Registry epochs are re-stamped
+/// onto carried deltas, so the chain speaks registry epochs, not the
+/// dynamic graph's internal ones.
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "graph/delta.hpp"
 #include "graph/dynamic.hpp"
 
 namespace essentials::engine {
@@ -49,6 +63,12 @@ template <typename GraphT>
 class graph_registry {
  public:
   using graph_type = GraphT;
+  using delta_type = graph::edge_delta_t<typename GraphT::vertex_type,
+                                         typename GraphT::weight_type>;
+
+  /// How many epoch transitions of delta history each name retains; older
+  /// transitions scroll out and warm-starts across them fall back cold.
+  static constexpr std::size_t kMaxDeltaHistory = 64;
 
   /// Callback fired after a publish: (name, new epoch).
   using subscriber = std::function<void(std::string const&, std::uint64_t)>;
@@ -66,31 +86,90 @@ class graph_registry {
   }
 
   /// Publish an externally built snapshot (e.g. the shared_ptr returned by
-  /// `dynamic_graph_t::publish_epoch`).
+  /// `dynamic_graph_t::publish_epoch`).  The no-delta overload breaks the
+  /// delta chain for `name` (the transition is unexplained).
   pinned_graph<GraphT> publish_shared(std::string const& name,
                                       std::shared_ptr<GraphT const> g) {
-    expects(g != nullptr, "graph_registry: cannot publish a null graph");
-    pinned_graph<GraphT> pinned;
-    std::vector<subscriber> subs;
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      auto& slot = graphs_[name];
-      slot.graph = std::move(g);
-      slot.epoch += 1;
-      pinned = {slot.graph, slot.epoch};
-      subs = subscribers_;  // snapshot: callbacks run outside the lock
-    }
-    for (auto const& s : subs)
-      s(name, pinned.epoch);
-    return pinned;
+    return publish_impl(name, std::move(g), std::nullopt, nullptr, 0);
+  }
+
+  /// Publish a snapshot together with the edge delta explaining the
+  /// transition from the previous epoch's snapshot to this one.  The delta
+  /// is re-stamped with registry epochs and appended to the name's delta
+  /// chain; an incomplete delta breaks the chain instead.
+  pinned_graph<GraphT> publish_shared(std::string const& name,
+                                      std::shared_ptr<GraphT const> g,
+                                      delta_type delta) {
+    return publish_impl(name, std::move(g), std::move(delta), nullptr, 0);
   }
 
   /// Snapshot a dynamic (ingest) graph and publish it as the next epoch —
-  /// the convenience path an ingest loop calls at epoch boundaries.
+  /// the convenience path an ingest loop calls at epoch boundaries.  This
+  /// const overload cannot consult the delta log, so it breaks the chain;
+  /// prefer the non-const overload for warm-start-capable serving.
   template <typename V, typename E, typename W>
   pinned_graph<GraphT> publish(std::string const& name,
                                graph::dynamic_graph_t<V, E, W> const& dyn) {
     return publish(name, dyn.template snapshot<GraphT>());
+  }
+
+  /// Warm-start-capable publish: advances the dynamic graph's own epoch
+  /// (sealing its delta log), then publishes the snapshot *with* the delta
+  /// for this transition.  The chain stays intact only while consecutive
+  /// epochs of `name` come from the same `dyn` with a complete log —
+  /// anything else (first publish, source switch, truncated log) degrades
+  /// to a chain break, never to a wrong delta.
+  template <typename V, typename E, typename W>
+  pinned_graph<GraphT> publish(std::string const& name,
+                               graph::dynamic_graph_t<V, E, W>& dyn) {
+    auto [snap, dyn_epoch] = dyn.template publish_epoch<GraphT>();
+    std::optional<delta_type> delta;
+    if (dyn_epoch > 0) {
+      auto d = dyn.delta_since(dyn_epoch - 1);
+      if (d.complete)
+        delta.emplace(std::move(d));
+    }
+    return publish_impl(name, std::move(snap), std::move(delta), &dyn,
+                        dyn_epoch);
+  }
+
+  /// The spliced, compacted delta covering registry epochs
+  /// (`from_epoch`, `to_epoch`] of `name`.  `complete == false` when any
+  /// transition in the range is missing (chain break, history scrolled out,
+  /// unknown name, or a range the registry never saw) — the caller must
+  /// recompute cold.  `from_epoch == to_epoch` yields an empty complete
+  /// delta.
+  delta_type delta_between(std::string const& name, std::uint64_t from_epoch,
+                           std::uint64_t to_epoch) const {
+    delta_type out;
+    out.from_epoch = from_epoch;
+    out.to_epoch = to_epoch;
+    out.complete = false;
+    if (from_epoch > to_epoch)
+      return out;
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = graphs_.find(name);
+    if (it == graphs_.end() || to_epoch > it->second.epoch)
+      return out;
+    if (from_epoch == to_epoch) {
+      out.complete = true;
+      return out;
+    }
+    std::uint64_t covered = 0;
+    for (auto const& d : it->second.deltas) {
+      if (d.to_epoch <= from_epoch || d.to_epoch > to_epoch)
+        continue;
+      out.records.insert(out.records.end(), d.records.begin(),
+                         d.records.end());
+      ++covered;
+    }
+    if (covered != to_epoch - from_epoch) {
+      out.records.clear();  // hole in the chain: unusable
+      return out;
+    }
+    out.complete = true;
+    graph::compact(out);
+    return out;
   }
 
   /// Pin the current epoch of `name`; empty pin when unknown.
@@ -142,7 +221,51 @@ class graph_registry {
   struct slot_t {
     std::shared_ptr<GraphT const> graph;
     std::uint64_t epoch = 0;
+    /// Per-transition deltas, oldest first; deltas[i] covers registry
+    /// epochs (to_epoch - 1, to_epoch].  Contiguity is an invariant: a
+    /// chain break clears the deque.
+    std::deque<delta_type> deltas;
+    /// Continuity tracking: which dynamic graph produced the current epoch
+    /// (identity only — never dereferenced) and at which of *its* epochs.
+    void const* delta_source = nullptr;
+    std::uint64_t source_epoch = 0;
   };
+
+  pinned_graph<GraphT> publish_impl(std::string const& name,
+                                    std::shared_ptr<GraphT const> g,
+                                    std::optional<delta_type> delta,
+                                    void const* source,
+                                    std::uint64_t source_epoch) {
+    expects(g != nullptr, "graph_registry: cannot publish a null graph");
+    pinned_graph<GraphT> pinned;
+    std::vector<subscriber> subs;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto& slot = graphs_[name];
+      bool const continuous =
+          delta.has_value() && delta->complete && slot.epoch > 0 &&
+          slot.delta_source == source && source != nullptr &&
+          source_epoch == slot.source_epoch + 1;
+      slot.graph = std::move(g);
+      slot.epoch += 1;
+      if (continuous) {
+        delta->from_epoch = slot.epoch - 1;  // re-stamp in registry epochs
+        delta->to_epoch = slot.epoch;
+        slot.deltas.push_back(std::move(*delta));
+        while (slot.deltas.size() > kMaxDeltaHistory)
+          slot.deltas.pop_front();
+      } else {
+        slot.deltas.clear();  // unexplained transition: chain break
+      }
+      slot.delta_source = source;
+      slot.source_epoch = source_epoch;
+      pinned = {slot.graph, slot.epoch};
+      subs = subscribers_;  // snapshot: callbacks run outside the lock
+    }
+    for (auto const& s : subs)
+      s(name, pinned.epoch);
+    return pinned;
+  }
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, slot_t> graphs_;

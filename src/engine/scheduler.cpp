@@ -72,8 +72,8 @@ void job_scheduler::shutdown(bool run_queued) {
   }
   work_cv_.notify_all();
   for (auto const& j : dropped) {
-    retire(j, job_status::cancelled, nullptr, "scheduler shutdown");
     count_terminal(job_status::cancelled);
+    retire(j, job_status::cancelled, nullptr, "scheduler shutdown");
   }
   for (auto& r : runners_)
     if (r.joinable())
@@ -131,14 +131,14 @@ void job_scheduler::run_job(job_ptr const& j) {
   // was cancelled while waiting, never enacts — queue wait counts against
   // the latency budget, as it must in a serving system.
   if (j->budget_.expired()) {
+    count_terminal(job_status::deadline_expired);
     retire(j, job_status::deadline_expired, nullptr,
            "deadline elapsed while queued");
-    count_terminal(job_status::deadline_expired);
     return;
   }
   if (j->token_.cancelled()) {
-    retire(j, job_status::cancelled, nullptr, "cancelled while queued");
     count_terminal(job_status::cancelled);
+    retire(j, job_status::cancelled, nullptr, "cancelled while queued");
     return;
   }
 
@@ -149,7 +149,7 @@ void job_scheduler::run_job(job_ptr const& j) {
   if (stats_)
     stats_->on_enacted();
 
-  job_context ctx(j->token_, j->budget_, &j->fired_);
+  job_context ctx(j->token_, j->budget_, &j->fired_, &j->warm_);
   std::shared_ptr<void const> result;
   std::string error;
   bool threw = false;
@@ -177,6 +177,22 @@ void job_scheduler::run_job(job_ptr const& j) {
       threw = true;
       error = "unknown exception";
     }
+    if (j->desc_.record_trace) {
+      // Warm-start attribution (telemetry schema v4), stamped while the
+      // recording is still scoped to this job's trace.
+      j->trace_.warm_start =
+          j->warm_.warm_start.load(std::memory_order_relaxed);
+      j->trace_.delta_edges =
+          j->warm_.delta_edges.load(std::memory_order_relaxed);
+      j->trace_.supersteps_saved =
+          j->warm_.supersteps_saved.load(std::memory_order_relaxed);
+    }
+  }
+  if (stats_) {
+    if (j->warm_.warm_start.load(std::memory_order_relaxed))
+      stats_->on_warm_start_hit();
+    if (j->warm_.delta_fallback.load(std::memory_order_relaxed))
+      stats_->on_delta_fallback();
   }
   double const run_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - run_start)
@@ -207,9 +223,12 @@ void job_scheduler::run_job(job_ptr const& j) {
         break;
     }
   }
+  // Count *before* retiring: retire() wakes waiters, and a thread that
+  // observed the terminal status must see the stats already reflect it
+  // (engine tests read stats() right after wait() returns).
+  count_terminal(status);
   retire(j, status, status == job_status::completed ? std::move(result) : nullptr,
          std::move(error));
-  count_terminal(status);
 }
 
 void job_scheduler::retire(job_ptr const& j, job_status s,

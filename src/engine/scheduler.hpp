@@ -107,14 +107,25 @@ struct job_desc {
   bool record_trace = false;  ///< capture a job-tagged telemetry trace
 };
 
+/// Warm-start attribution a job body reports back through its context
+/// (written by the body on a runner thread, read by the scheduler after the
+/// body returned, and by handle accessors from any thread — hence atomics).
+struct warm_info {
+  std::atomic<bool> warm_start{false};      ///< enacted incrementally
+  std::atomic<bool> delta_fallback{false};  ///< warm candidate, forced cold
+  std::atomic<std::uint64_t> delta_edges{0};
+  std::atomic<std::uint64_t> supersteps_saved{0};
+};
+
 /// Handed to the job body while it runs: the cooperative stop machinery.
 /// References into the job's shared state — valid only for the duration of
 /// the body call.
 class job_context {
  public:
   job_context(enactor::cancel_token token, enactor::time_budget budget,
-              std::atomic<int>* fired)
-      : token_(std::move(token)), budget_(budget), fired_(fired) {}
+              std::atomic<int>* fired, warm_info* warm = nullptr)
+      : token_(std::move(token)), budget_(budget), fired_(fired),
+        warm_(warm) {}
 
   enactor::cancel_token const& token() const { return token_; }
   enactor::time_budget const& budget() const { return budget_; }
@@ -157,10 +168,31 @@ class job_context {
   /// deadline must stay classified as completed).
   int fired() const { return fired_->load(std::memory_order_relaxed); }
 
+  /// Record that this enactment was warm-started from a prior epoch's
+  /// converged result (telemetry schema v4 + engine_stats.warm_start_hits).
+  /// Call after the incremental enactor reports `warm_started == true`.
+  void note_warm_start(std::uint64_t delta_edges,
+                       std::uint64_t supersteps_saved) const {
+    if (!warm_)
+      return;
+    warm_->warm_start.store(true, std::memory_order_relaxed);
+    warm_->delta_edges.store(delta_edges, std::memory_order_relaxed);
+    warm_->supersteps_saved.store(supersteps_saved,
+                                  std::memory_order_relaxed);
+  }
+
+  /// Record that a warm candidate existed but the enactment had to run cold
+  /// (deletions in the delta, truncated log, shape mismatch...).
+  void note_delta_fallback() const {
+    if (warm_)
+      warm_->delta_fallback.store(true, std::memory_order_relaxed);
+  }
+
  private:
   enactor::cancel_token token_;
   enactor::time_budget budget_;
   std::atomic<int>* fired_;
+  warm_info* warm_;
 };
 
 /// The work itself: runs against whatever state the submitter bound (the
@@ -209,6 +241,20 @@ class job {
 
   bool cache_hit() const { return status() == job_status::cache_hit; }
 
+  /// Warm-start attribution (valid once the job retired).
+  bool warm_started() const {
+    return warm_.warm_start.load(std::memory_order_relaxed);
+  }
+  bool delta_fallback() const {
+    return warm_.delta_fallback.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delta_edges() const {
+    return warm_.delta_edges.load(std::memory_order_relaxed);
+  }
+  std::uint64_t supersteps_saved() const {
+    return warm_.supersteps_saved.load(std::memory_order_relaxed);
+  }
+
   /// Registry epoch the job ran against (0 when not engine-routed).
   std::uint64_t graph_epoch() const {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -255,6 +301,7 @@ class job {
   enactor::cancel_token token_;
   enactor::time_budget budget_ = enactor::time_budget::unlimited();
   std::atomic<int> fired_{job_context::kFiredNone};
+  warm_info warm_;
   std::chrono::steady_clock::time_point submitted_at_{};
   job_fn fn_;
 };

@@ -38,7 +38,10 @@ struct engine_stats_snapshot {
   std::uint64_t cache_hits = 0;        ///< queries served from the result cache
   std::uint64_t cache_misses = 0;      ///< cacheable queries that had to enact
   std::uint64_t cache_evictions = 0;   ///< LRU evictions
-  std::uint64_t cache_invalidations = 0;  ///< entries dropped on epoch publish
+  std::uint64_t cache_invalidations = 0;  ///< evicted + demoted on epoch publish
+  std::uint64_t cache_demotions = 0;   ///< entries demoted to warm-startable
+  std::uint64_t warm_start_hits = 0;   ///< enactments seeded from a warm entry
+  std::uint64_t delta_fallbacks = 0;   ///< warm candidates forced onto cold path
   std::uint64_t jobs_enacted = 0;      ///< enactments actually launched
   double queue_ms_total = 0.0;         ///< sum of per-job queue wait
   double run_ms_total = 0.0;           ///< sum of per-job run wall time
@@ -53,6 +56,12 @@ struct engine_stats_snapshot {
     return total == 0 ? 0.0
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
+  }
+  /// Fraction of enactments (not cache hits) that ran warm-started.
+  double warm_ratio() const {
+    return jobs_enacted == 0 ? 0.0
+                             : static_cast<double>(warm_start_hits) /
+                                   static_cast<double>(jobs_enacted);
   }
 };
 
@@ -71,6 +80,11 @@ class engine_stats {
   void on_cache_invalidation(std::size_t n) {
     cache_invalidations_.fetch_add(n, relaxed);
   }
+  void on_cache_demotion(std::size_t n) {
+    cache_demotions_.fetch_add(n, relaxed);
+  }
+  void on_warm_start_hit() { warm_start_hits_.fetch_add(1, relaxed); }
+  void on_delta_fallback() { delta_fallbacks_.fetch_add(1, relaxed); }
   void on_enacted() { jobs_enacted_.fetch_add(1, relaxed); }
   void add_queue_wait_ms(double ms) {
     queue_us_.fetch_add(to_us(ms), relaxed);
@@ -89,6 +103,9 @@ class engine_stats {
     s.cache_misses = cache_misses_.load(relaxed);
     s.cache_evictions = cache_evictions_.load(relaxed);
     s.cache_invalidations = cache_invalidations_.load(relaxed);
+    s.cache_demotions = cache_demotions_.load(relaxed);
+    s.warm_start_hits = warm_start_hits_.load(relaxed);
+    s.delta_fallbacks = delta_fallbacks_.load(relaxed);
     s.jobs_enacted = jobs_enacted_.load(relaxed);
     s.queue_ms_total = static_cast<double>(queue_us_.load(relaxed)) / 1000.0;
     s.run_ms_total = static_cast<double>(run_us_.load(relaxed)) / 1000.0;
@@ -111,6 +128,9 @@ class engine_stats {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> cache_evictions_{0};
   std::atomic<std::uint64_t> cache_invalidations_{0};
+  std::atomic<std::uint64_t> cache_demotions_{0};
+  std::atomic<std::uint64_t> warm_start_hits_{0};
+  std::atomic<std::uint64_t> delta_fallbacks_{0};
   std::atomic<std::uint64_t> jobs_enacted_{0};
   std::atomic<std::uint64_t> queue_us_{0};  // microseconds (atomic-friendly)
   std::atomic<std::uint64_t> run_us_{0};
@@ -119,7 +139,7 @@ class engine_stats {
 /// Serialize a snapshot as a self-describing JSON object, schema-sistered
 /// to the telemetry export (docs/API.md, "Engine metrics").
 inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
-  os << "{\"engine_stats_version\":1"
+  os << "{\"engine_stats_version\":2"
      << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
      << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
      << ",\"cancelled\":" << s.cancelled
@@ -128,8 +148,12 @@ inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
      << ",\"cache_misses\":" << s.cache_misses
      << ",\"cache_evictions\":" << s.cache_evictions
      << ",\"cache_invalidations\":" << s.cache_invalidations
+     << ",\"cache_demotions\":" << s.cache_demotions
+     << ",\"warm_start_hits\":" << s.warm_start_hits
+     << ",\"delta_fallbacks\":" << s.delta_fallbacks
      << ",\"jobs_enacted\":" << s.jobs_enacted
      << ",\"hit_ratio\":" << s.hit_ratio()
+     << ",\"warm_ratio\":" << s.warm_ratio()
      << ",\"queue_ms_total\":" << s.queue_ms_total
      << ",\"run_ms_total\":" << s.run_ms_total << "}";
 }

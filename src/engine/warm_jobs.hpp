@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file engine/warm_jobs.hpp
+/// \brief Canonical (cold, warm) job-body pairs for the warm-start-capable
+/// engine submission path (`analytics_engine::submit(desc, cold, warm)`).
+///
+/// The cold body is exactly what a plain submission would run; the warm
+/// body wraps the matching incremental enactor
+/// (algorithms/incremental.hpp): it un-erases the stale cached result,
+/// seeds the enactment from the delta, and reports the outcome through the
+/// job context (`note_warm_start` / `note_delta_fallback`) so engine_stats
+/// and telemetry schema v4 attribute the run correctly.  The incremental
+/// enactors transparently fall back to the cold algorithm when the delta
+/// is not warmable (deletions / weight increases / truncated logs), so the
+/// warm body never produces a different payload than the cold one —
+/// differentially verified in tests/test_delta.cpp.
+///
+/// Usage:
+///   auto j = engine.submit(desc,
+///                          engine::sssp_cold_job<graph_csr>(policy, src),
+///                          engine::sssp_warm_job<graph_csr>(policy, src));
+
+#include <memory>
+#include <utility>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/incremental.hpp"
+#include "algorithms/sssp.hpp"
+#include "engine/engine.hpp"
+
+namespace essentials::engine {
+
+namespace detail {
+
+/// Shared outcome-reporting shim: warm enactments that internally fell
+/// back to the cold algorithm count as delta fallbacks, not warm hits.
+inline void report_outcome(job_context& ctx,
+                           algorithms::incremental_outcome const& out) {
+  if (out.warm_started)
+    ctx.note_warm_start(out.delta_edges, out.supersteps_saved);
+  else
+    ctx.note_delta_fallback();
+}
+
+}  // namespace detail
+
+// --- SSSP ------------------------------------------------------------------
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::typed_job_fn sssp_cold_job(
+    P policy, typename GraphT::vertex_type source) {
+  using W = typename GraphT::weight_type;
+  return [policy, source](GraphT const& g, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto r = algorithms::sssp(policy, g, source);
+    if (ctx.should_stop())
+      return nullptr;
+    return std::make_shared<algorithms::sssp_result<W> const>(std::move(r));
+  };
+}
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::warm_job_fn sssp_warm_job(
+    P policy, typename GraphT::vertex_type source) {
+  using W = typename GraphT::weight_type;
+  using delta_t = typename analytics_engine<GraphT>::delta_type;
+  return [policy, source](GraphT const& g,
+                          std::shared_ptr<void const> const& prev_erased,
+                          delta_t const& delta, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto const* prev =
+        static_cast<algorithms::sssp_result<W> const*>(prev_erased.get());
+    algorithms::incremental_outcome out;
+    auto r = algorithms::sssp_incremental(policy, g, source, *prev, delta,
+                                          &out);
+    if (ctx.should_stop())
+      return nullptr;
+    detail::report_outcome(ctx, out);
+    return std::make_shared<algorithms::sssp_result<W> const>(std::move(r));
+  };
+}
+
+// --- BFS -------------------------------------------------------------------
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::typed_job_fn bfs_cold_job(
+    P policy, typename GraphT::vertex_type source) {
+  using V = typename GraphT::vertex_type;
+  return [policy, source](GraphT const& g, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto r = algorithms::bfs(policy, g, source);
+    if (ctx.should_stop())
+      return nullptr;
+    return std::make_shared<algorithms::bfs_result<V> const>(std::move(r));
+  };
+}
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::warm_job_fn bfs_warm_job(
+    P policy, typename GraphT::vertex_type source) {
+  using V = typename GraphT::vertex_type;
+  using delta_t = typename analytics_engine<GraphT>::delta_type;
+  return [policy, source](GraphT const& g,
+                          std::shared_ptr<void const> const& prev_erased,
+                          delta_t const& delta, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto const* prev =
+        static_cast<algorithms::bfs_result<V> const*>(prev_erased.get());
+    algorithms::incremental_outcome out;
+    auto r =
+        algorithms::bfs_incremental(policy, g, source, *prev, delta, &out);
+    if (ctx.should_stop())
+      return nullptr;
+    detail::report_outcome(ctx, out);
+    return std::make_shared<algorithms::bfs_result<V> const>(std::move(r));
+  };
+}
+
+// --- Connected components --------------------------------------------------
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::typed_job_fn cc_cold_job(P policy) {
+  using V = typename GraphT::vertex_type;
+  return [policy](GraphT const& g, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto r = algorithms::connected_components(policy, g);
+    if (ctx.should_stop())
+      return nullptr;
+    return std::make_shared<algorithms::cc_result<V> const>(std::move(r));
+  };
+}
+
+template <typename GraphT, typename P>
+typename analytics_engine<GraphT>::warm_job_fn cc_warm_job(P policy) {
+  using V = typename GraphT::vertex_type;
+  using delta_t = typename analytics_engine<GraphT>::delta_type;
+  return [policy](GraphT const& g,
+                  std::shared_ptr<void const> const& prev_erased,
+                  delta_t const& delta, job_context& ctx)
+             -> std::shared_ptr<void const> {
+    auto const* prev =
+        static_cast<algorithms::cc_result<V> const*>(prev_erased.get());
+    algorithms::incremental_outcome out;
+    auto r = algorithms::connected_components_incremental(policy, g, *prev,
+                                                          delta, &out);
+    if (ctx.should_stop())
+      return nullptr;
+    detail::report_outcome(ctx, out);
+    return std::make_shared<algorithms::cc_result<V> const>(std::move(r));
+  };
+}
+
+}  // namespace essentials::engine

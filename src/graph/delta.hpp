@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file graph/delta.hpp
+/// \brief Edge-delta records: the currency of incremental (warm-start)
+/// recomputation between graph epochs.
+///
+/// A `edge_delta_t` describes how a graph changed between two published
+/// epochs as a flat list of per-edge mutation records.  The consumer
+/// contract is deliberately weak — it is what makes the concurrent producer
+/// cheap and the monotone warm-start correct:
+///
+///  - **Superset semantics.**  The record list is a *superset* of the true
+///    edge diff between the two snapshots: every edge that differs between
+///    `from_epoch`'s snapshot and `to_epoch`'s snapshot appears, but records
+///    for edges that did not actually change (mutations raced with a
+///    snapshot and landed in both) may also appear.  Warm-starts only use
+///    records to *seed* frontiers and then relax against the real new
+///    snapshot, so spurious records cost a few wasted relaxations, never
+///    correctness.
+///  - **`insert` means monotone improvement** (a fresh edge, or an in-place
+///    weight decrease): for the monotone algorithms (SSSP / BFS / CC) the
+///    previous epoch's converged result remains a valid upper bound and the
+///    fixed point can be re-reached from the delta endpoints alone.
+///  - **`remove` means anything non-monotone** (an edge removal, or an
+///    in-place weight *increase*).  One such record invalidates the
+///    upper-bound property, and incremental enactors fall back to a full
+///    recompute (`insert_only()` is the fast-path gate).
+///  - **`complete == false` means the log was truncated** (capacity bound
+///    hit, or the requested epoch scrolled out of the bounded history):
+///    degrade gracefully to a full recompute.
+///
+/// Produced by `dynamic_graph_t::delta_since()` (graph/dynamic.hpp) and
+/// carried per epoch-transition by the engine's graph registry
+/// (engine/registry.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace essentials::graph {
+
+/// What a single delta record encodes.  `insert` covers fresh edges and
+/// in-place weight decreases (monotone improvements); `remove` covers edge
+/// removals and in-place weight increases (anything that can make a cached
+/// monotone result stale as an upper bound).
+enum class delta_op : unsigned char { insert, remove };
+
+inline char const* to_string(delta_op op) {
+  return op == delta_op::insert ? "insert" : "remove";
+}
+
+/// One edge mutation: (src, dst) changed; `weight` is the weight observed
+/// at record time (the final weight for inserts, the pre-removal weight for
+/// removals — advisory either way, warm-starts relax against the snapshot).
+template <typename V = vertex_t, typename W = weight_t>
+struct delta_record_t {
+  V src;
+  V dst;
+  W weight;
+  delta_op op;
+};
+
+/// The delta between two published epochs (exclusive `from_epoch`,
+/// inclusive `to_epoch`).  An empty, complete delta with
+/// `from_epoch == to_epoch` means "nothing changed".
+template <typename V = vertex_t, typename W = weight_t>
+struct edge_delta_t {
+  using record_type = delta_record_t<V, W>;
+
+  std::uint64_t from_epoch = 0;  ///< warm-start source epoch
+  std::uint64_t to_epoch = 0;    ///< target epoch the delta leads to
+  bool complete = false;  ///< false ⇒ log truncated; do a full recompute
+  std::vector<record_type> records;
+
+  std::size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+
+  /// True iff every record is a monotone improvement — the gate for the
+  /// incremental fast path.
+  bool insert_only() const {
+    for (auto const& r : records)
+      if (r.op == delta_op::remove)
+        return false;
+    return true;
+  }
+};
+
+namespace detail {
+
+struct pair_hash {
+  std::size_t operator()(std::pair<std::uint64_t, std::uint64_t> const& p)
+      const noexcept {
+    std::uint64_t h = p.first * 0x9e3779b97f4a7c15ull;
+    h ^= p.second + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace detail
+
+/// Compact a record list in place: one record per (src, dst) pair.  A pair
+/// that saw any `remove` keeps op == remove (forcing the consumer onto the
+/// fallback path — safe even when the pair's *net* effect was an insert,
+/// e.g. remove-then-reinsert with a higher weight); otherwise the last
+/// insert (latest weight) survives.  Record order of survivors follows
+/// first appearance, so compaction is deterministic.
+template <typename V, typename W>
+void compact(std::vector<delta_record_t<V, W>>& records) {
+  if (records.size() < 2)
+    return;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::size_t,
+                     detail::pair_hash>
+      index;
+  index.reserve(records.size());
+  std::vector<delta_record_t<V, W>> out;
+  out.reserve(records.size());
+  for (auto const& r : records) {
+    auto const key = std::make_pair(
+        static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<V>>(r.src)),
+        static_cast<std::uint64_t>(
+            static_cast<std::make_unsigned_t<V>>(r.dst)));
+    auto const [it, inserted] = index.try_emplace(key, out.size());
+    if (inserted) {
+      out.push_back(r);
+      continue;
+    }
+    auto& kept = out[it->second];
+    if (r.op == delta_op::remove || kept.op == delta_op::remove) {
+      kept.op = delta_op::remove;  // sticky: any remove taints the pair
+    }
+    kept.weight = r.weight;  // latest observation wins
+  }
+  records = std::move(out);
+}
+
+template <typename V, typename W>
+void compact(edge_delta_t<V, W>& delta) {
+  compact(delta.records);
+}
+
+}  // namespace essentials::graph

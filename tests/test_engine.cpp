@@ -179,15 +179,36 @@ TEST(EngineCache, EpochIsPartOfTheKey) {
   EXPECT_EQ(cache.lookup({"g", 2, "a", "p"}), nullptr);  // new epoch: miss
 }
 
-TEST(EngineCache, InvalidateGraphDropsOnlyThatGraph) {
+// PR 4 contract: invalidation *demotes* the newest entry per query
+// identity to a warm-start seed (still exactly addressable under its
+// old-epoch key) and evicts older duplicates; other graphs are untouched.
+TEST(EngineCache, InvalidateGraphDemotesNewestAndDropsOlder) {
   eng::result_cache cache(8);
   cache.insert({"a", 1, "x", ""}, std::make_shared<int const>(1));
-  cache.insert({"a", 2, "y", ""}, std::make_shared<int const>(2));
-  cache.insert({"b", 1, "x", ""}, std::make_shared<int const>(3));
-  EXPECT_EQ(cache.invalidate_graph("a"), 2u);
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.lookup({"a", 1, "x", ""}), nullptr);
-  EXPECT_NE(cache.lookup({"b", 1, "x", ""}), nullptr);
+  cache.insert({"a", 2, "x", ""}, std::make_shared<int const>(2));
+  cache.insert({"a", 1, "y", ""}, std::make_shared<int const>(3));
+  cache.insert({"b", 1, "x", ""}, std::make_shared<int const>(4));
+  auto const counts = cache.invalidate_graph("a");
+  EXPECT_EQ(counts.evicted, 1u);  // ("a",1,"x"): older duplicate of identity x
+  EXPECT_EQ(counts.demoted, 2u);  // ("a",2,"x") and ("a",1,"y")
+  EXPECT_EQ(counts.total(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.warm_size(), 2u);
+  EXPECT_EQ(cache.lookup({"a", 1, "x", ""}), nullptr);  // evicted
+  EXPECT_NE(cache.lookup({"a", 2, "x", ""}), nullptr);  // demoted: exact hit
+  EXPECT_NE(cache.lookup({"b", 1, "x", ""}), nullptr);  // other graph survives
+
+  // A newer-epoch query discovers the demoted seed through lookup_warm...
+  auto const seed = cache.lookup_warm({"a", 3, "x", ""});
+  ASSERT_TRUE(seed);
+  EXPECT_EQ(seed.epoch, 2u);
+  // ...but a query at (or below) the seed's own epoch cannot warm from it.
+  EXPECT_FALSE(cache.lookup_warm({"a", 2, "x", ""}));
+
+  // A fresh insert at the new epoch supersedes the warm seed.
+  cache.insert({"a", 3, "x", ""}, std::make_shared<int const>(5));
+  EXPECT_EQ(cache.warm_size(), 1u);  // only identity y's seed remains
+  EXPECT_FALSE(cache.lookup_warm({"a", 4, "x", ""}));
 }
 
 // ---------------------------------------------------------------------------
@@ -683,10 +704,13 @@ TEST(EngineDynamicSnapshot, SnapshotWhileInsertingIsConsistent) {
   std::vector<std::pair<std::shared_ptr<gr::graph_csr const>, std::uint64_t>>
       epochs;
   std::thread publisher([&dyn, &writers_done, &epochs] {
-    while (!writers_done.load(std::memory_order_acquire)) {
+    // do-while: under a sanitizer's thread-start skew the writers can all
+    // finish before this thread's first check — publish at least once so
+    // the test always exercises a mid-ingest epoch.
+    do {
       epochs.push_back(dyn.publish_epoch<gr::graph_csr>());
       std::this_thread::sleep_for(1ms);
-    }
+    } while (!writers_done.load(std::memory_order_acquire));
   });
 
   for (auto& t : writers)
