@@ -64,7 +64,9 @@ inline constexpr bool compiled_in = (ESSENTIALS_TELEMETRY_ENABLED != 0);
 /// job_tag / graph_epoch) so engine-multiplexed traces can be attributed to
 /// the job that produced them.  v4 adds warm-start attribution (warm_start
 /// / delta_edges / supersteps_saved) for incremental delta-recompute jobs.
-inline constexpr int schema_version = 4;
+/// v5 adds batch attribution (batch_id / batch_size / lane) for jobs fused
+/// into one lane-packed enactment by the engine's request batcher.
+inline constexpr int schema_version = 5;
 
 // ---------------------------------------------------------------------------
 // Trace data model
@@ -159,6 +161,15 @@ struct trace {
   bool warm_start = false;            ///< enactment seeded from a warm entry
   std::uint64_t delta_edges = 0;      ///< delta records that seeded the frontier
   std::uint64_t supersteps_saved = 0;  ///< prior cold supersteps minus warm ones
+  // Batch attribution (schema v5): filled by the engine scheduler when this
+  // job was fused with compatible concurrent queries into one lane-packed
+  // enactment (engine/batcher.hpp).  batch_size == 0 means "not batched";
+  // the supersteps of the shared enactment are recorded on one member of
+  // the wave (the first trace-requesting lane), every member carries the
+  // attribution fields.
+  std::uint64_t batch_id = 0;   ///< id of the fused enactment wave
+  std::uint32_t batch_size = 0; ///< members fused into the wave (0 == unbatched)
+  std::uint32_t lane = 0;       ///< this job's lane within the wave
   std::vector<superstep_record> supersteps;
 
   std::size_t num_supersteps() const { return supersteps.size(); }
@@ -652,6 +663,10 @@ inline void write_json(trace const& t, std::ostream& os) {
     os << ",\"warm_start\":" << (t.warm_start ? "true" : "false")
        << ",\"delta_edges\":" << t.delta_edges
        << ",\"supersteps_saved\":" << t.supersteps_saved;
+  }
+  if (t.batch_size != 0) {
+    os << ",\"batch_id\":" << t.batch_id
+       << ",\"batch_size\":" << t.batch_size << ",\"lane\":" << t.lane;
   }
   os << ",\"supersteps\":[";
   for (std::size_t i = 0; i < t.supersteps.size(); ++i) {

@@ -38,6 +38,7 @@
 #include <string>
 #include <utility>
 
+#include "engine/batcher.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/scheduler.hpp"
@@ -50,6 +51,35 @@ struct engine_options {
   std::size_t max_queued = 64;       ///< admission bound
   std::size_t cache_capacity = 128;  ///< result-cache entries (0 disables)
   bool warm_starts = true;  ///< serve warm-start submissions incrementally
+  bool batching = true;     ///< fuse compatible queued jobs at dequeue time
+  std::size_t batch_window = 256;  ///< max members per fusion window
+};
+
+/// Graph-typed half of the fusion contract (the type-erased half is
+/// `batch_spec`, engine/batcher.hpp): what a batchable query hands
+/// `submit_batch` beyond its cold body.  engine/batch_jobs.hpp builds
+/// these for BFS / SSSP / closeness.
+template <typename GraphT>
+struct batch_hints {
+  /// This member's lane input (e.g. its source vertex), delivered to the
+  /// fused body positionally via `batch_lane::payload`.
+  std::shared_ptr<void const> payload;
+  /// Lane width of one fused enactment (≤ 64).
+  std::size_t max_lanes = 64;
+  /// The shared enactment over the pinned snapshot.  Null == this query
+  /// opted out of fusion (`execution::batch::independent`); the engine
+  /// then degrades to the plain `submit` path.
+  std::function<fused_outcome(GraphT const&, std::vector<batch_lane> const&)>
+      fused;
+};
+
+/// A cold body + its fusion hints, as returned by the batchable job
+/// builders (engine/batch_jobs.hpp).
+template <typename GraphT>
+struct batchable_job {
+  std::function<std::shared_ptr<void const>(GraphT const&, job_context&)>
+      cold;
+  batch_hints<GraphT> hints;
 };
 
 template <typename GraphT>
@@ -79,7 +109,8 @@ class analytics_engine {
   explicit analytics_engine(engine_options opt = {})
       : warm_starts_(opt.warm_starts),
         cache_(opt.cache_capacity, &stats_),
-        scheduler_(scheduler_options{opt.num_runners, opt.max_queued},
+        scheduler_(scheduler_options{opt.num_runners, opt.max_queued,
+                                     opt.batching, opt.batch_window},
                    &stats_) {
     // Epoch publication protocol: a new epoch of graph G invalidates
     // cached results of G only; other graphs' entries survive.  Since PR 4
@@ -217,6 +248,86 @@ class analytics_engine {
           return result;
         },
         pinned.epoch);
+  }
+
+  /// Batchable submission: like `submit(desc, cold)`, but the job also
+  /// carries fusion hints — at dequeue time the scheduler coalesces every
+  /// queued job with the same `(graph, epoch, algorithm)` key into one
+  /// lane-packed enactment (engine/batcher.hpp), demuxing per-member
+  /// results; each member's converged result is inserted into the cache
+  /// under its *own* `(graph, epoch, algorithm, params)` key, and members
+  /// that individually hit the cache at dequeue time retire `cache_hit`
+  /// before lane assignment.  With null `hints.fused` (the
+  /// `execution::batch::independent` spelling) this degrades to the plain
+  /// `submit` path — the query always enacts alone.
+  job_ptr submit_batch(job_desc desc, typed_job_fn cold,
+                       batch_hints<GraphT> hints) {
+    if (!hints.fused)
+      return submit(std::move(desc), std::move(cold));
+
+    auto pinned = registry_.lookup(desc.graph);
+    if (!pinned) {
+      job_ptr j(new job(0, std::move(desc)));
+      job_scheduler::retire(j, job_status::rejected, nullptr,
+                            "unknown graph: " + j->desc().graph);
+      stats_.on_rejected();
+      return j;
+    }
+
+    cache_key const key{desc.graph, pinned.epoch, desc.algorithm,
+                        desc.params};
+    bool const cacheable = desc.use_cache && cache_.capacity() != 0;
+    if (cacheable) {
+      if (auto hit = cache_.lookup(key)) {
+        job_ptr j(new job(0, std::move(desc)));
+        j->epoch_ = pinned.epoch;
+        job_scheduler::retire(j, job_status::cache_hit, std::move(hit), {});
+        return j;
+      }
+    }
+
+    // Type-erase the fusion contract.  The key pins (graph name, epoch,
+    // algorithm): a publish between two submissions changes the epoch and
+    // therefore splits the batch — a fused wave can never straddle
+    // snapshots, because the fused closure captured this pin by value.
+    auto spec = std::make_shared<batch_spec>();
+    spec->key = make_batch_key(desc.graph, pinned.epoch, desc.algorithm);
+    spec->payload = std::move(hints.payload);
+    spec->max_lanes = hints.max_lanes;
+    if (cacheable) {
+      spec->cache_probe = [this, key]() { return cache_.lookup(key); };
+      spec->publish = [this, key](std::shared_ptr<void const> const& r) {
+        cache_.insert(key, r);
+      };
+    }
+    spec->fused = [pinned, fused = std::move(hints.fused)](
+                      std::vector<batch_lane> const& lanes) {
+      return fused(*pinned.graph, lanes);
+    };
+
+    // The solo body (no compatible partner queued) is the same wrapper the
+    // plain path uses: dequeue-time cache re-check, enact, cache insert.
+    return scheduler_.submit(
+        std::move(desc),
+        [this, pinned, key, cacheable,
+         cold = std::move(cold)](job_context& ctx)
+            -> std::shared_ptr<void const> {
+          if (cacheable)
+            if (auto hit = cache_.lookup(key))
+              return hit;
+          auto result = cold(*pinned.graph, ctx);
+          if (cacheable && result && ctx.fired() == job_context::kFiredNone)
+            cache_.insert(key, result);
+          return result;
+        },
+        pinned.epoch, std::move(spec));
+  }
+
+  /// Convenience: batchable submission from a builder's bundle
+  /// (engine/batch_jobs.hpp).
+  job_ptr submit_batch(job_desc desc, batchable_job<GraphT> bj) {
+    return submit_batch(std::move(desc), std::move(bj.cold),
+                        std::move(bj.hints));
   }
 
   /// Convenience: submit and block for the terminal status.

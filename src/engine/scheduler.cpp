@@ -1,6 +1,9 @@
 #include "engine/scheduler.hpp"
 
+#include <algorithm>
 #include <exception>
+
+#include "engine/batcher.hpp"
 
 namespace essentials::engine {
 
@@ -18,6 +21,12 @@ job_scheduler::~job_scheduler() {
 
 job_ptr job_scheduler::submit(job_desc desc, job_fn fn,
                               std::uint64_t graph_epoch) {
+  return submit(std::move(desc), std::move(fn), graph_epoch, nullptr);
+}
+
+job_ptr job_scheduler::submit(job_desc desc, job_fn fn,
+                              std::uint64_t graph_epoch,
+                              std::shared_ptr<batch_spec> batch) {
   auto const now = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   // The handle is created under the lock so ids are dense and ordered.
@@ -27,6 +36,7 @@ job_ptr job_scheduler::submit(job_desc desc, job_fn fn,
   if (j->desc_.deadline.count() > 0)
     j->budget_ = enactor::time_budget::until(now + j->desc_.deadline);
   j->fn_ = std::move(fn);
+  j->batch_ = std::move(batch);
 
   if (stopping_) {
     lock.unlock();
@@ -93,6 +103,7 @@ std::size_t job_scheduler::running() const {
 void job_scheduler::runner_loop() {
   for (;;) {
     job_ptr j;
+    std::vector<job_ptr> fused;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -106,12 +117,237 @@ void job_scheduler::runner_loop() {
       j = queue_.top().j;
       queue_.pop();
       ++running_;
+      // Dequeue-time fusion window: a batchable pop also claims every
+      // queued job with the same batch key (engine/batcher.hpp).
+      if (opt_.batching && opt_.batch_window > 1 && j->batch_)
+        fused = collect_batch_locked(j);
     }
-    run_job(j);
+    std::size_t const claimed = fused.empty() ? 1 : fused.size();
+    if (fused.empty())
+      run_job(j);
+    else
+      run_fused(fused);
     {
       std::lock_guard<std::mutex> guard(mutex_);
-      --running_;
+      running_ -= claimed;
     }
+  }
+}
+
+std::vector<job_ptr> job_scheduler::collect_batch_locked(job_ptr const& first) {
+  if (queue_.empty())
+    return {};
+  std::string const& key = first->batch_->key;
+  std::vector<job_ptr> members;
+  members.push_back(first);
+  // std::priority_queue cannot be scanned in place: pop everything, keep
+  // key matches, re-push the rest with their original (priority, seq) so
+  // ordering is undisturbed.  O(Q log Q) under the lock, bounded by
+  // `max_queued` — the admission bound that already sizes the queue.
+  std::vector<queued_item> keep;
+  keep.reserve(queue_.size());
+  while (!queue_.empty()) {
+    queued_item item = queue_.top();
+    queue_.pop();
+    if (members.size() < opt_.batch_window && item.j->batch_ &&
+        item.j->batch_->key == key)
+      members.push_back(std::move(item.j));
+    else
+      keep.push_back(std::move(item));
+  }
+  for (auto& item : keep)
+    queue_.push(std::move(item));
+  if (members.size() == 1)
+    return {};  // no partner queued: the solo body is the right enactment
+  running_ += members.size() - 1;  // the runner now carries them all
+  return members;
+}
+
+void job_scheduler::run_fused(std::vector<job_ptr> const& members) {
+  auto const popped_at = std::chrono::steady_clock::now();
+
+  // Pre-lane triage, mirroring run_job member by member: stamp queue wait,
+  // drop members whose deadline elapsed or cancel token fired while they
+  // queued, then run each member's *own* dequeue-time cache probe — before
+  // lane assignment, so a member an identical earlier job already
+  // satisfied retires `cache_hit` and never occupies a lane.
+  std::vector<job_ptr> live;
+  live.reserve(members.size());
+  for (auto const& j : members) {
+    double const queue_ms = std::chrono::duration<double, std::milli>(
+                                popped_at - j->submitted_at_)
+                                .count();
+    {
+      std::lock_guard<std::mutex> guard(j->mutex_);
+      j->queue_ms_ = queue_ms;
+    }
+    if (stats_)
+      stats_->add_queue_wait_ms(queue_ms);
+
+    if (j->budget_.expired()) {
+      count_terminal(job_status::deadline_expired);
+      retire(j, job_status::deadline_expired, nullptr,
+             "deadline elapsed while queued");
+      continue;
+    }
+    if (j->token_.cancelled()) {
+      count_terminal(job_status::cancelled);
+      retire(j, job_status::cancelled, nullptr, "cancelled while queued");
+      continue;
+    }
+    if (j->desc_.use_cache && j->batch_->cache_probe) {
+      if (auto hit = j->batch_->cache_probe()) {
+        retire(j, job_status::cache_hit, std::move(hit), {});
+        continue;
+      }
+    }
+    live.push_back(j);
+  }
+
+  // Wave chunking: at most `max_lanes` (≤ 64 bit lanes) members share one
+  // fused enactment; a larger window spills into further waves.
+  if (live.empty())
+    return;
+  std::size_t max_lanes = live.front()->batch_->max_lanes;
+  if (max_lanes == 0)
+    max_lanes = 1;
+  if (max_lanes > 64)
+    max_lanes = 64;
+  for (std::size_t offset = 0; offset < live.size(); offset += max_lanes) {
+    std::size_t const count = std::min(max_lanes, live.size() - offset);
+    run_wave(std::vector<job_ptr>(live.begin() + static_cast<std::ptrdiff_t>(offset),
+                                  live.begin() + static_cast<std::ptrdiff_t>(offset + count)));
+  }
+}
+
+void job_scheduler::run_wave(std::vector<job_ptr> const& wave) {
+  std::size_t const n = wave.size();
+  // A wave of one (triage evaporated its partners, or a spill remainder)
+  // still enacts through the fused body — same lane-packed code path, so
+  // the result is identical — but is not *accounted* as a batch: nothing
+  // was shared, no pass was saved, and batch attribution stays zero
+  // (telemetry's `batch_size == 0` == unbatched).
+  bool const fused_wave = n > 1;
+  std::uint64_t const batch_id =
+      fused_wave ? next_batch_id_.fetch_add(1, std::memory_order_relaxed) : 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    job_ptr const& j = wave[i];
+    {
+      std::lock_guard<std::mutex> guard(j->mutex_);
+      j->status_ = job_status::running;
+      if (fused_wave) {
+        j->batch_id_ = batch_id;
+        j->batch_size_ = static_cast<std::uint32_t>(n);
+        j->lane_ = static_cast<std::uint32_t>(i);
+      }
+    }
+    if (stats_)
+      stats_->on_enacted();
+  }
+
+  // Per-member contexts in stable storage; each lane points at its own, so
+  // deadlines/cancellation stay per-member inside the shared enactment
+  // (live_lane_mask re-evaluates them every superstep).
+  std::vector<job_context> ctxs;
+  ctxs.reserve(n);
+  for (auto const& j : wave)
+    ctxs.emplace_back(j->token_, j->budget_, &j->fired_, &j->warm_);
+  std::vector<batch_lane> lanes;
+  lanes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    lanes.push_back(batch_lane{wave[i]->batch_->payload, &ctxs[i]});
+
+  fused_outcome out;
+  std::string error;
+  bool threw = false;
+  auto const run_start = std::chrono::steady_clock::now();
+  {
+    // One recorder per thread: the fused superstep stream is recorded into
+    // the first record_trace member's trace; *every* record_trace member's
+    // trace gets the schema-v5 batch attribution (batch_id / batch_size /
+    // lane), so fused enactments are visible from any member's handle.
+    std::unique_ptr<telemetry::scoped_recording> recording;
+    for (std::size_t i = 0; i < n; ++i) {
+      job_ptr const& j = wave[i];
+      if (!j->desc_.record_trace)
+        continue;
+      if (!recording)
+        recording = std::make_unique<telemetry::scoped_recording>(
+            j->trace_, j->desc_.algorithm);
+      j->trace_.job_id = j->id_;
+      j->trace_.job_tag =
+          j->desc_.algorithm +
+          (j->desc_.params.empty() ? std::string{}
+                                   : "(" + j->desc_.params + ")");
+      j->trace_.graph_epoch = j->epoch_;
+      if (fused_wave) {
+        j->trace_.batch_id = batch_id;
+        j->trace_.batch_size = static_cast<std::uint32_t>(n);
+        j->trace_.lane = static_cast<std::uint32_t>(i);
+      }
+    }
+    try {
+      // Key equality pinned one snapshot + algorithm for the whole wave,
+      // so any member's fused body enacts for all; use the first.
+      out = wave.front()->batch_->fused(lanes);
+    } catch (std::exception const& e) {
+      threw = true;
+      error = e.what();
+    } catch (...) {
+      threw = true;
+      error = "unknown exception";
+    }
+  }
+  double const run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
+
+  // Wave accounting: one traversal served n members — the saved passes are
+  // the batching win the stats export surfaces (engine stats v3).
+  if (!threw && fused_wave && stats_) {
+    std::size_t const passes = out.edge_passes == 0 ? 1 : out.edge_passes;
+    stats_->on_batch(n, passes < n ? n - passes : 0);
+  }
+
+  // Demux: classify and retire each member from its *own* fired record;
+  // publish each completed member's result under its own cache key.
+  for (std::size_t i = 0; i < n; ++i) {
+    job_ptr const& j = wave[i];
+    {
+      std::lock_guard<std::mutex> guard(j->mutex_);
+      j->run_ms_ = run_ms;  // each member waited the wave's wall time
+    }
+    if (stats_)
+      stats_->add_run_ms(run_ms);
+
+    std::shared_ptr<void const> result;
+    if (!threw && i < out.results.size())
+      result = out.results[i];
+
+    job_status status;
+    if (threw) {
+      status = job_status::failed;
+    } else {
+      switch (j->fired_.load(std::memory_order_relaxed)) {
+        case job_context::kFiredDeadline:
+          status = job_status::deadline_expired;
+          break;
+        case job_context::kFiredCancelled:
+          status = job_status::cancelled;
+          break;
+        default:
+          status = job_status::completed;
+          break;
+      }
+    }
+    if (status == job_status::completed && result && j->desc_.use_cache &&
+        j->batch_->publish)
+      j->batch_->publish(result);
+    count_terminal(status);
+    retire(j, status,
+           status == job_status::completed ? std::move(result) : nullptr,
+           threw ? error : std::string{});
   }
 }
 

@@ -49,6 +49,8 @@
 
 namespace essentials::engine {
 
+struct batch_spec;  // engine/batcher.hpp — fusion contract for batchable jobs
+
 // ---------------------------------------------------------------------------
 // Job description and lifecycle
 // ---------------------------------------------------------------------------
@@ -261,6 +263,22 @@ class job {
     return epoch_;
   }
 
+  /// Fusion attribution (valid once the job retired): a non-zero
+  /// `batch_size()` means this job was served as lane `lane()` of fused
+  /// wave `batch_id()`; zero means it enacted alone (or hit the cache).
+  std::uint64_t batch_id() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return batch_id_;
+  }
+  std::uint32_t batch_size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return batch_size_;
+  }
+  std::uint32_t lane() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return lane_;
+  }
+
   double queue_ms() const {
     std::lock_guard<std::mutex> guard(mutex_);
     return queue_ms_;
@@ -296,6 +314,9 @@ class job {
   std::uint64_t epoch_ = 0;
   double queue_ms_ = 0.0;
   double run_ms_ = 0.0;
+  std::uint64_t batch_id_ = 0;
+  std::uint32_t batch_size_ = 0;
+  std::uint32_t lane_ = 0;
   telemetry::trace trace_;
 
   enactor::cancel_token token_;
@@ -304,6 +325,8 @@ class job {
   warm_info warm_;
   std::chrono::steady_clock::time_point submitted_at_{};
   job_fn fn_;
+  std::shared_ptr<batch_spec> batch_;  ///< non-null == batchable (fusion key
+                                       ///< + lane payload + fused body)
 };
 
 using job_ptr = std::shared_ptr<job>;
@@ -315,6 +338,14 @@ using job_ptr = std::shared_ptr<job>;
 struct scheduler_options {
   std::size_t num_runners = 2;  ///< concurrent jobs in flight (dedicated threads)
   std::size_t max_queued = 64;  ///< admission bound on *waiting* jobs
+  /// Dequeue-time fusion: when a popped job is batchable, the runner also
+  /// claims every queued job with the same batch key (up to `batch_window`
+  /// members total) and enacts them as one fused wave — spilling into
+  /// multiple ≤64-lane waves when the window out-collects the lane width.
+  /// `batching == false` disables the window entirely (ablation /
+  /// latency-isolation baseline); batchable jobs then enact one by one.
+  bool batching = true;
+  std::size_t batch_window = 256;  ///< max members claimed per fusion window
 };
 
 class job_scheduler {
@@ -338,6 +369,15 @@ class job_scheduler {
   /// `graph_epoch` (engine-routed jobs) stamps the handle and the job's
   /// telemetry trace with the registry epoch it was pinned to.
   job_ptr submit(job_desc desc, job_fn fn, std::uint64_t graph_epoch = 0);
+
+  /// Batchable submission: `batch` (non-null) marks the job fusable with
+  /// same-key queued jobs at dequeue time (see engine/batcher.hpp).  `fn`
+  /// remains the job's *solo* body — enacted when no compatible partner is
+  /// queued (or batching is disabled), so a batchable job never waits for
+  /// company.  Builders keep solo and fused bodies on the same lane-packed
+  /// code path, which is what makes fused results bit-identical.
+  job_ptr submit(job_desc desc, job_fn fn, std::uint64_t graph_epoch,
+                 std::shared_ptr<batch_spec> batch);
 
   /// Stop accepting work.  `run_queued == true` drains the backlog through
   /// the runners first; otherwise queued jobs retire as `cancelled`
@@ -369,6 +409,17 @@ class job_scheduler {
 
   void runner_loop();
   void run_job(job_ptr const& j);
+  /// Claim every queued job whose batch key matches `first`'s (up to
+  /// `batch_window` members total, `first` included) — the fusion window.
+  /// Called with `mutex_` held; bumps `running_` for each claimed extra.
+  /// Returns the members in pop (priority/FIFO) order, or an empty vector
+  /// when no partner was queued (caller falls back to run_job).
+  std::vector<job_ptr> collect_batch_locked(job_ptr const& first);
+  /// Triage (queued-deadline / cancelled / per-member cache probe), then
+  /// chunk survivors into ≤max_lanes waves and enact each through the
+  /// members' shared fused body, demuxing + publishing per-member results.
+  void run_fused(std::vector<job_ptr> const& members);
+  void run_wave(std::vector<job_ptr> const& wave);
   static void retire(job_ptr const& j, job_status s,
                      std::shared_ptr<void const> result, std::string error);
   void count_terminal(job_status s);
@@ -382,6 +433,7 @@ class job_scheduler {
       queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> next_batch_id_{1};
   std::size_t running_ = 0;
   bool stopping_ = false;
   bool drain_backlog_ = false;

@@ -43,6 +43,9 @@ struct engine_stats_snapshot {
   std::uint64_t warm_start_hits = 0;   ///< enactments seeded from a warm entry
   std::uint64_t delta_fallbacks = 0;   ///< warm candidates forced onto cold path
   std::uint64_t jobs_enacted = 0;      ///< enactments actually launched
+  std::uint64_t batches = 0;           ///< fused enactment waves launched
+  std::uint64_t batched_jobs = 0;      ///< jobs served as lanes of a fused wave
+  std::uint64_t edge_passes_saved = 0; ///< full traversals avoided by fusion
   double queue_ms_total = 0.0;         ///< sum of per-job queue wait
   double run_ms_total = 0.0;           ///< sum of per-job run wall time
 
@@ -62,6 +65,12 @@ struct engine_stats_snapshot {
     return jobs_enacted == 0 ? 0.0
                              : static_cast<double>(warm_start_hits) /
                                    static_cast<double>(jobs_enacted);
+  }
+  /// Mean members per fused wave (0 when nothing ever fused).
+  double avg_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_jobs) /
+                              static_cast<double>(batches);
   }
 };
 
@@ -86,6 +95,13 @@ class engine_stats {
   void on_warm_start_hit() { warm_start_hits_.fetch_add(1, relaxed); }
   void on_delta_fallback() { delta_fallbacks_.fetch_add(1, relaxed); }
   void on_enacted() { jobs_enacted_.fetch_add(1, relaxed); }
+  /// One fused wave retired: `members` jobs shared the traversal,
+  /// `passes_saved` full edge passes were avoided versus serial enactment.
+  void on_batch(std::size_t members, std::uint64_t passes_saved) {
+    batches_.fetch_add(1, relaxed);
+    batched_jobs_.fetch_add(members, relaxed);
+    edge_passes_saved_.fetch_add(passes_saved, relaxed);
+  }
   void add_queue_wait_ms(double ms) {
     queue_us_.fetch_add(to_us(ms), relaxed);
   }
@@ -107,6 +123,9 @@ class engine_stats {
     s.warm_start_hits = warm_start_hits_.load(relaxed);
     s.delta_fallbacks = delta_fallbacks_.load(relaxed);
     s.jobs_enacted = jobs_enacted_.load(relaxed);
+    s.batches = batches_.load(relaxed);
+    s.batched_jobs = batched_jobs_.load(relaxed);
+    s.edge_passes_saved = edge_passes_saved_.load(relaxed);
     s.queue_ms_total = static_cast<double>(queue_us_.load(relaxed)) / 1000.0;
     s.run_ms_total = static_cast<double>(run_us_.load(relaxed)) / 1000.0;
     return s;
@@ -132,6 +151,9 @@ class engine_stats {
   std::atomic<std::uint64_t> warm_start_hits_{0};
   std::atomic<std::uint64_t> delta_fallbacks_{0};
   std::atomic<std::uint64_t> jobs_enacted_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_jobs_{0};
+  std::atomic<std::uint64_t> edge_passes_saved_{0};
   std::atomic<std::uint64_t> queue_us_{0};  // microseconds (atomic-friendly)
   std::atomic<std::uint64_t> run_us_{0};
 };
@@ -139,7 +161,7 @@ class engine_stats {
 /// Serialize a snapshot as a self-describing JSON object, schema-sistered
 /// to the telemetry export (docs/API.md, "Engine metrics").
 inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
-  os << "{\"engine_stats_version\":2"
+  os << "{\"engine_stats_version\":3"
      << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
      << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
      << ",\"cancelled\":" << s.cancelled
@@ -152,6 +174,10 @@ inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
      << ",\"warm_start_hits\":" << s.warm_start_hits
      << ",\"delta_fallbacks\":" << s.delta_fallbacks
      << ",\"jobs_enacted\":" << s.jobs_enacted
+     << ",\"batches\":" << s.batches
+     << ",\"batched_jobs\":" << s.batched_jobs
+     << ",\"edge_passes_saved\":" << s.edge_passes_saved
+     << ",\"avg_batch_size\":" << s.avg_batch_size()
      << ",\"hit_ratio\":" << s.hit_ratio()
      << ",\"warm_ratio\":" << s.warm_ratio()
      << ",\"queue_ms_total\":" << s.queue_ms_total
