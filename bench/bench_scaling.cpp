@@ -3,17 +3,36 @@
 // so the sweep is a one-line policy change per configuration — itself a
 // demonstration of the §III-A abstraction.
 //
-// Expected shape: near-linear until the pool exceeds physical cores.  On
-// this 1-core container the curve is flat-to-worse beyond 1 thread (the
+// Expected shape: near-linear until the pool exceeds physical cores.  On a
+// 1-core container the curve is flat-to-worse beyond 1 thread (the
 // hardware, not the abstraction — DESIGN.md caveat); the bench exists so
 // the same binary shows the real curve on real hardware.
+//
+// The custom main (replacing BENCHMARK_MAIN) writes BENCH_scaling.json for
+// CI: best-of-N advance latency on rmat-12 at 1/2/4/8 threads on the
+// stealing substrate, plus stealing-vs-central at 8 threads.  Two bars are
+// enforced like the existing frontier/engine/delta bars:
+//  - scaling-efficiency floor: >= 3.5x speedup at 8 threads over 1, gated
+//    on hardware_concurrency() >= 8 (a 1-core container cannot scale);
+//    ESSENTIALS_SCALING_FLOOR overrides the floor (0 disables).
+//  - substrate parity: the stealing pool beats-or-matches the central
+//    queue at 8 threads (>= 0.85x throughput, absorbing noise), gated on
+//    hardware_concurrency() >= 4.
+// The process exits nonzero when an enforced bar fails.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "essentials.hpp"
 
 namespace e = essentials;
+namespace op = essentials::operators;
 
 namespace {
 
@@ -21,6 +40,22 @@ e::graph::graph_full const& graph() {
   static auto const g = [] {
     e::generators::rmat_options opt;
     opt.scale = 13;
+    opt.edge_factor = 16;
+    opt.weights = {1.0f, 4.0f};
+    auto coo = e::generators::rmat(opt);
+    e::graph::remove_self_loops(coo);
+    return e::graph::from_coo<e::graph::graph_full>(
+        std::move(coo), e::graph::duplicate_policy::keep_min);
+  }();
+  return g;
+}
+
+/// rmat-12 graph for the JSON artifact (matches the bench_operators scale
+/// the CI bars are calibrated on).
+e::graph::graph_full const& artifact_graph() {
+  static auto const g = [] {
+    e::generators::rmat_options opt;
+    opt.scale = 12;
     opt.edge_factor = 16;
     opt.weights = {1.0f, 4.0f};
     auto coo = e::generators::rmat(opt);
@@ -68,6 +103,133 @@ BENCHMARK(BM_PagerankStrongScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_AsyncSsspWorkerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+auto const always = [](e::vertex_t, e::vertex_t, e::edge_t, e::weight_t) {
+  return true;
+};
+
+/// Best-of-samples wall time (seconds) for `iters` rmat-12 advances on the
+/// given pool.  Best-of absorbs scheduler noise; the first sample doubles
+/// as warm-up (page faults, lane scratch, frontier capacity).
+double measure_advance(e::parallel::thread_pool& pool,
+                       e::frontier::sparse_frontier<e::vertex_t> const& in,
+                       int iters = 6, int samples = 5) {
+  e::execution::parallel_policy const policy(pool);
+  double best = 1e300;
+  for (int s = 0; s < samples; ++s) {
+    auto const t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+      benchmark::DoNotOptimize(
+          op::advance_push(policy, artifact_graph(), in, always).size());
+    double const dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (dt < best)
+      best = dt;
+  }
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // --- BENCH_scaling.json: advance strong scaling + substrate parity ------
+  std::size_t const hw = std::thread::hardware_concurrency();
+
+  std::vector<e::vertex_t> seeds;
+  for (e::vertex_t v = 0; v < (1 << 12); ++v)
+    seeds.push_back(v);
+  e::frontier::sparse_frontier<e::vertex_t> const in(std::move(seeds));
+
+  struct point {
+    std::size_t threads;
+    double best_sec;
+    double speedup;  // vs the 1-thread stealing pool
+  };
+  std::vector<point> curve;
+  for (std::size_t t : {1u, 2u, 4u, 8u}) {
+    e::parallel::thread_pool pool(t, e::parallel::queue_mode::stealing);
+    curve.push_back({t, measure_advance(pool, in), 0.0});
+  }
+  for (auto& p : curve)
+    p.speedup = p.best_sec > 0 ? curve.front().best_sec / p.best_sec : 0.0;
+
+  double central_sec;
+  {
+    e::parallel::thread_pool central(8, e::parallel::queue_mode::central);
+    central_sec = measure_advance(central, in);
+  }
+  double const stealing_sec = curve.back().best_sec;
+  double const parity =
+      stealing_sec > 0 ? central_sec / stealing_sec : 0.0;  // >1: stealing wins
+
+  double floor = 3.5;
+  bool floor_enforced = hw >= 8;
+  if (char const* env = std::getenv("ESSENTIALS_SCALING_FLOOR")) {
+    floor = std::atof(env);
+    floor_enforced = floor > 0.0;
+  }
+  bool const parity_enforced = hw >= 4;
+  constexpr double parity_bar = 0.85;
+
+  char const* const path = "BENCH_scaling.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"scaling\",\n"
+                 "  \"workload\": \"advance_push rmat-12, frontier 4096\",\n"
+                 "  \"graph\": {\"kind\": \"rmat\", \"scale\": 12, "
+                 "\"edge_factor\": 16, \"vertices\": %lld, \"edges\": %lld},\n"
+                 "  \"hardware_concurrency\": %zu,\n"
+                 "  \"floor_speedup_8t\": %.2f,\n"
+                 "  \"floor_enforced\": %s,\n"
+                 "  \"parity_bar\": %.2f,\n"
+                 "  \"parity_enforced\": %s,\n  \"threads\": [\n",
+                 static_cast<long long>(artifact_graph().get_num_vertices()),
+                 static_cast<long long>(artifact_graph().get_num_edges()), hw,
+                 floor, floor_enforced ? "true" : "false", parity_bar,
+                 parity_enforced ? "true" : "false");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      auto const& p = curve[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"best_ms\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   p.threads, p.best_sec * 1e3, p.speedup,
+                   i + 1 < curve.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"substrates_8t\": {\"stealing_ms\": %.3f, "
+                 "\"central_ms\": %.3f, \"central_over_stealing\": %.3f}\n}\n",
+                 stealing_sec * 1e3, central_sec * 1e3, parity);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::printf("bench: wrote %s\n", path);
+  for (auto const& p : curve)
+    std::printf("  %zu threads: %8.3f ms  (%.2fx)\n", p.threads,
+                p.best_sec * 1e3, p.speedup);
+  std::printf("  8t substrates: stealing %.3f ms, central %.3f ms (%.2fx)\n",
+              stealing_sec * 1e3, central_sec * 1e3, parity);
+
+  int failures = 0;
+  if (floor_enforced && curve.back().speedup < floor) {
+    std::fprintf(stderr,
+                 "FAIL: 8-thread speedup %.2fx below the %.2fx floor\n",
+                 curve.back().speedup, floor);
+    ++failures;
+  }
+  if (parity_enforced && parity < parity_bar) {
+    std::fprintf(stderr,
+                 "FAIL: stealing substrate at %.2fx of central throughput "
+                 "(bar %.2fx)\n",
+                 parity, parity_bar);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

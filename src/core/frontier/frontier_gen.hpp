@@ -61,11 +61,7 @@ namespace detail {
 /// at multiples of it (contract documented in parallel/thread_pool.hpp).
 inline std::size_t chunk_step(parallel::thread_pool& pool, std::size_t n,
                               std::size_t grain) {
-  grain = grain == 0 ? 1 : grain;
-  std::size_t const lanes = pool.size() + 1;
-  std::size_t const chunks =
-      std::min<std::size_t>(4 * lanes, (n + grain - 1) / grain);
-  return (n + chunks - 1) / (chunks == 0 ? 1 : chunks);
+  return pool.bulk_step(n, grain);
 }
 
 /// Per-(coordinating thread, element type) lane scratch, reused across

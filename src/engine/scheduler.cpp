@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "engine/batcher.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace essentials::engine {
 
@@ -101,6 +102,11 @@ std::size_t job_scheduler::running() const {
 }
 
 void job_scheduler::runner_loop() {
+  // Runners are the dominant run_blocked callers: claim a stable external
+  // lane on the default pool up front so every superstep this runner
+  // coordinates distributes its chunks through a stealable deque instead
+  // of the central injector.  No-op on the central substrate.
+  parallel::default_pool().register_external_lane();
   for (;;) {
     job_ptr j;
     std::vector<job_ptr> fused;

@@ -56,11 +56,7 @@ void parallel_for_nowait(thread_pool& pool, std::size_t begin,
   if (end <= begin)
     return;
   std::size_t const n = end - begin;
-  std::size_t const lanes = pool.size() + 1;
-  std::size_t chunks = std::min(4 * lanes, (n + grain - 1) / grain);
-  if (chunks == 0)
-    chunks = 1;
-  std::size_t const step = (n + chunks - 1) / chunks;
+  std::size_t const step = pool.bulk_step(n, grain);
   for (std::size_t lo = 0; lo < n; lo += step) {
     std::size_t const hi = std::min(n, lo + step);
     pool.submit([fn, begin, lo, hi] {
@@ -116,9 +112,10 @@ OutT exclusive_scan(thread_pool& pool, InT const* in, std::size_t n,
                     OutT* out) {
   if (n == 0)
     return OutT{0};
-  std::size_t const lanes = pool.size() + 1;
-  std::size_t const chunks = std::min<std::size_t>(4 * lanes, n);
-  std::size_t const step = (n + chunks - 1) / chunks;
+  // bulk_step is the pool's chunking contract: passing the step back in as
+  // the grain makes run_blocked reproduce exactly these chunk boundaries,
+  // so `lo / step` below is a stable, collision-free chunk index.
+  std::size_t const step = pool.bulk_step(n, 1);
 
   std::vector<OutT> chunk_total((n + step - 1) / step, OutT{0});
   pool.run_blocked(

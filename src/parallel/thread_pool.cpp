@@ -1,33 +1,150 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <latch>
-#include <stdexcept>
 #include <string>
+
+#include "parallel/barrier.hpp"
+#include "parallel/work_deque.hpp"
 
 namespace essentials::parallel {
 
-thread_pool::thread_pool(std::size_t num_threads) {
-  if (num_threads == 0)
-    num_threads = 1;
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+namespace {
+
+/// External (non-worker) lane slots per stealing pool: enough for every
+/// engine runner plus the main thread with headroom.  When exhausted,
+/// run_blocked falls back to injector distribution — correct, just
+/// centralized — so this is a performance bound, not a correctness one.
+constexpr std::size_t external_lane_slots = 32;
+
+/// Thread-local lane registry: which lane (if any) this thread holds in
+/// each pool it has touched, keyed by a process-unique pool id so entries
+/// for destroyed pools can never alias a live one.  A handful of 16-byte
+/// entries per thread — linear scan beats any map.
+struct lane_key {
+  std::uint64_t pool_id;
+  std::size_t lane;
+};
+
+std::vector<lane_key>& tls_lanes() {
+  thread_local std::vector<lane_key> lanes;
+  return lanes;
+}
+
+std::uint64_t next_pool_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread xorshift64 state for randomized victim selection.  Seeded
+/// from the thread id; forced odd so the state can never collapse to 0.
+std::uint64_t& steal_rng() {
+  thread_local std::uint64_t state =
+      static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())) |
+      1;
+  return state;
+}
+
+std::size_t next_victim(std::size_t lanes) {
+  std::uint64_t& s = steal_rng();
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return static_cast<std::size_t>(s % lanes);
+}
+
+}  // namespace
+
+/// One lane of the stealing substrate: lanes [0, size()) belong to the
+/// workers; the rest are claimable by external threads (engine runners, the
+/// main thread) so their run_blocked chunks are deque-distributed too.
+/// Tasks are heap-allocated std::functions — the deque stores trivially
+/// copyable pointers; ownership transfers to whichever thread dequeues.
+struct thread_pool::lane {
+  work_deque<std::function<void()>*> deque;
+  std::atomic<bool> claimed{false};  // meaningful for external slots only
+};
+
+queue_mode default_queue_mode() {
+  static queue_mode const mode = [] {
+#if defined(ESSENTIALS_CENTRAL_QUEUE)
+    bool central = true;
+#else
+    bool central = false;
+#endif
+    if (char const* env = std::getenv("ESSENTIALS_CENTRAL_QUEUE")) {
+      std::string value(env);
+      for (char& c : value)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      central = !(value.empty() || value == "0" || value == "false" ||
+                  value == "off" || value == "no");
+    }
+    return central ? queue_mode::central : queue_mode::stealing;
+  }();
+  return mode;
+}
+
+thread_pool::thread_pool(std::size_t num_threads)
+    : thread_pool(num_threads, default_queue_mode()) {}
+
+thread_pool::thread_pool(std::size_t num_threads, queue_mode mode)
+    : mode_(mode), pool_id_(next_pool_id()) {
+  num_workers_ = num_threads == 0 ? 1 : num_threads;
+  if (mode_ == queue_mode::stealing) {
+    lanes_.reserve(num_workers_ + external_lane_slots);
+    for (std::size_t i = 0; i < num_workers_ + external_lane_slots; ++i)
+      lanes_.push_back(std::make_unique<lane>());
+  }
+  workers_.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    if (mode_ == queue_mode::stealing)
+      workers_.emplace_back([this, i] { worker_loop_stealing(i); });
+    else
+      workers_.emplace_back([this] { worker_loop_central(); });
+  }
 }
 
 thread_pool::~thread_pool() {
   {
     std::lock_guard<std::mutex> guard(mutex_);
     stopping_ = true;
+    ++wake_counter_;
   }
   has_work_.notify_all();
   for (auto& w : workers_)
     w.join();
+  // Workers drain every visible task before exiting, and run_blocked never
+  // returns with chunks still queued, so lane deques are empty here in any
+  // contract-respecting program.  Sweep anyway so a violation leaks tasks,
+  // not memory.
+  for (auto const& l : lanes_)
+    while (auto stranded = l->deque.steal())
+      delete *stranded;
 }
 
 void thread_pool::submit(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (mode_ == queue_mode::stealing) {
+    std::size_t const self = lane_id();
+    if (self != no_lane && self < num_workers_) {
+      // Worker origin: own deque, newest-first for the owner, oldest-first
+      // for thieves — submission order is preserved across a steal.
+      lanes_[self]->deque.push(new std::function<void()>(std::move(task)));
+      notify_sleepers(false);
+      return;
+    }
+    // External origin: FIFO injector, same ordering the central queue gave.
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      queue_.push_back(std::move(task));
+      queue_size_.store(queue_.size(), std::memory_order_seq_cst);
+    }
+    notify_sleepers(false);
+    return;
+  }
   {
     std::lock_guard<std::mutex> guard(mutex_);
     queue_.push_back(std::move(task));
@@ -40,8 +157,13 @@ void thread_pool::submit_urgent(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
     urgent_queue_.push_back(std::move(task));
+    if (mode_ == queue_mode::stealing)
+      urgent_size_.store(urgent_queue_.size(), std::memory_order_seq_cst);
   }
-  has_work_.notify_one();
+  if (mode_ == queue_mode::stealing)
+    notify_sleepers(false);
+  else
+    has_work_.notify_one();
 }
 
 std::size_t thread_pool::discard_pending() {
@@ -51,14 +173,65 @@ std::size_t thread_pool::discard_pending() {
     discarded = queue_.size() + urgent_queue_.size();
     queue_.clear();
     urgent_queue_.clear();
+    queue_size_.store(0, std::memory_order_seq_cst);
+    urgent_size_.store(0, std::memory_order_seq_cst);
   }
+  // Stealing substrate: also drain every lane deque.  steal() is
+  // any-thread-safe, so the drain needs no cooperation from workers; a
+  // worker racing us for a task simply wins it (and runs it — "queued but
+  // not yet started" is decided by that race, same as the central queue).
+  for (auto const& l : lanes_)
+    while (auto stranded = l->deque.steal()) {
+      delete *stranded;
+      ++discarded;
+    }
   if (discarded != 0 &&
-      pending_.fetch_sub(discarded, std::memory_order_acq_rel) == discarded)
+      pending_.fetch_sub(discarded, std::memory_order_acq_rel) == discarded) {
+    // Notify under the lock: a wait_idle caller between its predicate check
+    // and its wait must not miss this (same window as finish_one).
+    std::lock_guard<std::mutex> guard(mutex_);
     all_idle_.notify_all();
+  }
   return discarded;
 }
 
-void thread_pool::worker_loop() {
+// --- completion plumbing shared by both substrates -------------------------
+
+void thread_pool::execute(std::function<void()>&& task) {
+  busy_.fetch_add(1, std::memory_order_relaxed);
+  task();  // user exceptions terminate by design: a lost superstep chunk
+           // would otherwise silently corrupt the algorithm's state.
+  busy_.fetch_sub(1, std::memory_order_relaxed);
+  // Destroy the callable *before* signaling idle: captured state (e.g. a
+  // par_nosync telemetry probe, shared_ptr-owned buffers) must be released
+  // by the time wait_idle() returns, or callers tearing down that state
+  // right after the barrier would race with this destructor.  This is also
+  // what makes "every deque empty" insufficient for idleness: a stolen
+  // task holds its pending slot until this line has run.
+  task = nullptr;
+  finish_one();
+}
+
+void thread_pool::finish_one() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Take the lock before notifying so a wait_idle caller that saw
+    // pending != 0 is already parked (or still holds the lock) — without
+    // it the notification can fall into the check-then-wait window.
+    std::lock_guard<std::mutex> guard(mutex_);
+    all_idle_.notify_all();
+  }
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+// --- central substrate -----------------------------------------------------
+
+void thread_pool::worker_loop_central() {
   for (;;) {
     std::function<void()> task;
     {
@@ -72,38 +245,13 @@ void thread_pool::worker_loop() {
       task = std::move(source.front());
       source.pop_front();
     }
-    busy_.fetch_add(1, std::memory_order_relaxed);
-    task();  // user exceptions terminate by design: a lost superstep chunk
-             // would otherwise silently corrupt the algorithm's state.
-    busy_.fetch_sub(1, std::memory_order_relaxed);
-    // Destroy the callable *before* signaling idle: captured state (e.g. a
-    // par_nosync telemetry probe, shared_ptr-owned buffers) must be released
-    // by the time wait_idle() returns, or callers tearing down that state
-    // right after the barrier would race with this destructor.
-    task = nullptr;
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-      all_idle_.notify_all();
+    execute(std::move(task));
   }
 }
 
-void thread_pool::run_blocked(
-    std::size_t n,
-    std::function<void(std::size_t, std::size_t)> const& fn,
-    std::size_t grain) {
-  if (n == 0)
-    return;
-  grain = std::max<std::size_t>(grain, 1);
-  std::size_t const lanes = size() + 1;  // workers + calling thread
-  std::size_t const max_chunks = 4 * lanes;
-  std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
-  std::size_t const step = (n + chunks - 1) / chunks;
-  chunks = (n + step - 1) / step;  // recompute after rounding step up
-
-  if (chunks == 1) {
-    fn(0, n);
-    return;
-  }
-
+void thread_pool::run_blocked_central(
+    std::size_t n, std::function<void(std::size_t, std::size_t)> const& fn,
+    std::size_t step, std::size_t chunks) {
   // The calling thread takes the first chunk itself (one fewer enqueue and
   // guarantees forward progress even if all workers are busy elsewhere).
   std::latch done(static_cast<std::ptrdiff_t>(chunks - 1));
@@ -119,11 +267,213 @@ void thread_pool::run_blocked(
   done.wait();
 }
 
-void thread_pool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+// --- stealing substrate ----------------------------------------------------
+
+void thread_pool::worker_loop_stealing(std::size_t id) {
+  tls_lanes().push_back({pool_id_, id});
+  for (;;) {
+    if (auto task = find_task(id)) {
+      execute(std::move(*task));
+      continue;
+    }
+    // Sleep protocol (store-buffer / Dekker pairing with every producer):
+    //   sleeper: sleepers_ += 1 (seq_cst); re-probe all work (seq_cst reads)
+    //   producer: publish work (seq_cst store); read sleepers_ (seq_cst)
+    // At least one side observes the other, so work published concurrently
+    // with this window either shows up in the re-probe or triggers a wake.
+    std::unique_lock<std::mutex> lock(mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (visible_work()) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // lock released; re-run the full find_task sweep
+    }
+    if (stopping_) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return;  // stopping and nothing visible anywhere: backlog is drained
+    }
+    std::uint64_t const seen = wake_counter_;
+    has_work_.wait(lock,
+                   [&] { return wake_counter_ != seen || stopping_; });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<std::function<void()>> thread_pool::find_task(std::size_t self) {
+  // 1. The urgent class: strict priority over everything, including this
+  //    worker's own deque — deadline-critical chunks must not wait behind a
+  //    backlog of batch work, stolen or not.
+  if (urgent_size_.load(std::memory_order_seq_cst) != 0)
+    if (auto task = pop_injector(urgent_size_, urgent_queue_))
+      return task;
+  // 2. Own deque, newest first: fork-join chunks this worker just produced
+  //    are the cache-hottest work in the system.
+  if (auto ptr = lanes_[self]->deque.pop()) {
+    std::unique_ptr<std::function<void()>> owned(*ptr);
+    return std::move(*owned);
+  }
+  // 3. The injector: external fire-and-forget submissions, FIFO.
+  if (queue_size_.load(std::memory_order_seq_cst) != 0)
+    if (auto task = pop_injector(queue_size_, queue_))
+      return task;
+  // 4. Steal sweep over randomized victims (two passes' worth of attempts;
+  //    a miss here is fine — the sleep path re-probes deterministically).
+  std::size_t const lanes = lanes_.size();
+  for (std::size_t attempt = 0; attempt < 2 * lanes; ++attempt) {
+    std::size_t const victim = next_victim(lanes);
+    if (victim == self)
+      continue;
+    if (auto ptr = lanes_[victim]->deque.steal()) {
+      std::unique_ptr<std::function<void()>> owned(*ptr);
+      return std::move(*owned);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::function<void()>> thread_pool::pop_injector(
+    std::atomic<std::size_t>& size_mirror,
+    std::deque<std::function<void()>>& q) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (q.empty())
+    return std::nullopt;
+  std::function<void()> task = std::move(q.front());
+  q.pop_front();
+  size_mirror.store(q.size(), std::memory_order_seq_cst);
+  return task;
+}
+
+bool thread_pool::visible_work() const {
+  if (urgent_size_.load(std::memory_order_seq_cst) != 0 ||
+      queue_size_.load(std::memory_order_seq_cst) != 0)
+    return true;
+  for (auto const& l : lanes_)
+    if (!l->deque.empty_seq_cst())
+      return true;
+  return false;
+}
+
+void thread_pool::notify_sleepers(bool all) {
+  // Producer side of the sleep protocol: the work was already published
+  // with a seq_cst store (deque bottom or injector size mirror) before this
+  // seq_cst read — a sleeper we miss here is one that will see the work.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++wake_counter_;
+  }
+  if (all)
+    has_work_.notify_all();
+  else
+    has_work_.notify_one();
+}
+
+std::size_t thread_pool::lane_id() const {
+  for (auto const& entry : tls_lanes())
+    if (entry.pool_id == pool_id_)
+      return entry.lane;
+  return no_lane;
+}
+
+std::size_t thread_pool::max_lanes() const noexcept {
+  return mode_ == queue_mode::stealing ? lanes_.size() : num_workers_ + 1;
+}
+
+std::size_t thread_pool::register_external_lane() {
+  if (mode_ != queue_mode::stealing)
+    return no_lane;
+  std::size_t const existing = lane_id();
+  if (existing != no_lane)
+    return existing;
+  for (std::size_t i = num_workers_; i < lanes_.size(); ++i) {
+    bool expected = false;
+    if (lanes_[i]->claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      tls_lanes().push_back({pool_id_, i});
+      return i;
+    }
+  }
+  return no_lane;  // all slots claimed; run_blocked falls back to injector
+}
+
+void thread_pool::run_blocked(
+    std::size_t n, std::function<void(std::size_t, std::size_t)> const& fn,
+    std::size_t grain) {
+  if (n == 0)
+    return;
+  grain = std::max<std::size_t>(grain, 1);
+  std::size_t const step = bulk_step(n, grain);
+  std::size_t const chunks = (n + step - 1) / step;
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  if (mode_ == queue_mode::central) {
+    run_blocked_central(n, fn, step, chunks);
+    return;
+  }
+
+  std::size_t self = lane_id();
+  if (self == no_lane)
+    self = register_external_lane();
+
+  // `fn` and `done` are captured by reference: both outlive every chunk
+  // because this frame blocks on the latch, and no finisher touches the
+  // latch after its count_down (the striped design keeps the final
+  // decrement the last access).
+  pending_.fetch_add(chunks - 1, std::memory_order_acq_rel);
+  completion_latch done(chunks - 1);
+
+  if (self != no_lane) {
+    auto& dq = lanes_[self]->deque;
+    for (std::size_t c = 1; c < chunks; ++c) {
+      std::size_t const begin = c * step;
+      std::size_t const end = std::min(n, begin + step);
+      dq.push(new std::function<void()>([&fn, &done, begin, end, c] {
+        fn(begin, end);
+        done.count_down(c - 1);
+      }));
+    }
+    notify_sleepers(true);
+    fn(0, std::min(n, step));  // chunk 0 inline: forward progress always
+    // Help while the barrier is open: drain our own bottom (our newest
+    // chunks — or, when run_blocked nests, the innermost level's chunks
+    // first, which is exactly the completion order the nesting needs).
+    // An empty pop means the rest were stolen; park on the latch.
+    while (!done.done()) {
+      auto ptr = dq.pop();
+      if (!ptr)
+        break;
+      std::unique_ptr<std::function<void()>> owned(*ptr);
+      execute(std::move(*owned));
+    }
+    done.wait();
+    return;
+  }
+
+  // No lane available (external slots exhausted): distribute through the
+  // injector.  Correct, just centrally queued — and we still help drain.
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      std::size_t const begin = c * step;
+      std::size_t const end = std::min(n, begin + step);
+      queue_.emplace_back([&fn, &done, begin, end, c] {
+        fn(begin, end);
+        done.count_down(c - 1);
+      });
+    }
+    queue_size_.store(queue_.size(), std::memory_order_seq_cst);
+  }
+  notify_sleepers(true);
+  fn(0, std::min(n, step));
+  while (!done.done()) {
+    auto task = pop_injector(queue_size_, queue_);
+    if (!task)
+      break;
+    execute(std::move(*task));
+  }
+  done.wait();
 }
 
 thread_pool& default_pool() {

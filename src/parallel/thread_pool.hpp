@@ -10,7 +10,7 @@
 ///  - CP.4  "think in terms of tasks": the public API is task submission and
 ///    bulk index-space execution, never raw threads.
 ///  - CP.42 "don't wait without a condition": all waits are predicated
-///    condition-variable waits.
+///    condition-variable waits or futex parks.
 ///
 /// The pool offers two completion models, which is exactly the distinction
 /// the paper draws between bulk-synchronous and asynchronous timing:
@@ -20,17 +20,58 @@
 ///  - `submit(fn)` enqueues fire-and-forget work; the caller may continue
 ///    and later call `wait_idle()` (or never), which is the `par_nosync`
 ///    behaviour of Listing 3's alternative overload.
+///
+/// ## Execution substrates
+///
+/// Two substrates implement that contract (`queue_mode`):
+///
+///  - **stealing** (default): every worker owns a Chase–Lev deque
+///    (parallel/work_deque.hpp); `run_blocked` pushes its chunks onto the
+///    *caller's* lane (workers push their own deque; external threads —
+///    engine runners, the main thread — claim a stable external lane slot)
+///    and idle workers steal from randomized victims.  Completion uses the
+///    striped `completion_latch` (parallel/barrier.hpp) instead of a flat
+///    `std::latch`, and the caller drains its own deque while the barrier
+///    is open, so a pool under load never strands a superstep.  External
+///    fire-and-forget `submit`s go through a small injector queue (strict
+///    FIFO, same-priority semantics as the central substrate).
+///  - **central**: the pre-stealing substrate — one mutex-guarded MPMC
+///    queue and a flat latch — kept alive as a differential-testing and
+///    ablation baseline behind the `ESSENTIALS_CENTRAL_QUEUE` knob.
+///
+/// Both substrates share the *deterministic chunking contract* exposed as
+/// `bulk_step()`: for fixed (n, grain, size()) the partition is identical
+/// regardless of mode or which thread runs each chunk — the property the
+/// scan-compaction frontier path (core/frontier/frontier_gen.hpp) builds
+/// its lane indexing and its bit-identical differential tests on.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace essentials::parallel {
+
+/// Which execution substrate a pool instance uses.
+enum class queue_mode : unsigned char {
+  stealing,  ///< per-worker Chase–Lev deques, randomized-victim stealing
+  central,   ///< single mutex-guarded MPMC queue (ablation / differential)
+};
+
+/// The process-wide default substrate: `queue_mode::stealing`, unless the
+/// library was compiled with -DESSENTIALS_CENTRAL_QUEUE or the environment
+/// variable `ESSENTIALS_CENTRAL_QUEUE` is set to a truthy value (`1`,
+/// `true`, `on`, `yes`); a falsy value (`0`, `false`, `off`, `no`)
+/// force-selects stealing even under the compile-time define.  Read once
+/// and cached (pools constructed later in the process see the same answer).
+queue_mode default_queue_mode();
 
 class thread_pool {
  public:
@@ -38,16 +79,27 @@ class thread_pool {
   /// normalized to 1 (a pool that still runs everything, just serially on
   /// one worker) so callers never divide by zero when chunking.
   explicit thread_pool(std::size_t num_threads);
+
+  /// Substrate-explicit constructor — differential tests pin one pool to
+  /// `queue_mode::central` and one to `queue_mode::stealing` and assert
+  /// bit-identical operator output.
+  thread_pool(std::size_t num_threads, queue_mode mode);
+
   ~thread_pool();
 
   thread_pool(thread_pool const&) = delete;
   thread_pool& operator=(thread_pool const&) = delete;
 
   /// Number of worker threads.
-  std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t size() const noexcept { return num_workers_; }
+
+  /// The execution substrate this pool runs on.
+  queue_mode mode() const noexcept { return mode_; }
 
   /// Enqueue a fire-and-forget task (asynchronous model).  The task may run
   /// on any worker at any later time; use wait_idle() for a full barrier.
+  /// Stealing substrate: a pool worker pushes onto its own deque (stolen by
+  /// idle peers); any other thread goes through the FIFO injector.
   void submit(std::function<void()> task);
 
   /// Enqueue a task ahead of every normal-priority task (but behind other
@@ -57,17 +109,21 @@ class thread_pool {
   /// backlog of batch work.  Starvation-safe by construction: `run_blocked`
   /// chunks of an already-running normal task were dequeued before the
   /// urgent submission, and the urgent class is expected to be sparse.
+  /// Workers check the urgent class before their own deque and before any
+  /// steal, so the priority survives the stealing substrate.
   void submit_urgent(std::function<void()> task);
 
   /// Shutdown drain: remove every *queued but not yet started* task (both
-  /// priority classes) and return how many were discarded.  Running tasks
-  /// are unaffected; their completion still releases pending slots.  Lets an
-  /// owner tear down promptly without executing a backlog it no longer
-  /// wants — the complement of the destructor, which runs the backlog to
-  /// completion.  NOTE: never discard tasks whose completion someone waits
-  /// on (run_blocked chunks count down a latch); this is for fire-and-forget
-  /// backlogs only, which is why the engine scheduler keeps its *job* queue
-  /// outside the pool and uses this only as a belt-and-braces drain.
+  /// priority classes, and — on the stealing substrate — every task still
+  /// sitting in a worker or external lane deque) and return how many were
+  /// discarded.  Running tasks are unaffected; their completion still
+  /// releases pending slots.  Lets an owner tear down promptly without
+  /// executing a backlog it no longer wants — the complement of the
+  /// destructor, which runs the backlog to completion.  NOTE: never discard
+  /// tasks whose completion someone waits on (run_blocked chunks count down
+  /// a latch); this is for fire-and-forget backlogs only, which is why the
+  /// engine scheduler keeps its *job* queue outside the pool and uses this
+  /// only as a belt-and-braces drain.
   std::size_t discard_pending();
 
   /// Execute `fn(chunk_begin, chunk_end)` over a partition of [0, n) and
@@ -79,18 +135,37 @@ class thread_pool {
   /// 4 * (size() + 1) to bound scheduling overhead.
   ///
   /// Chunking guarantee (relied upon by parallel/for_each.hpp's two-pass
-  /// exclusive_scan): for fixed (n, grain) the partition is deterministic,
-  /// every chunk's `begin` is a multiple of a single step value, and that
-  /// step equals ceil(n / min(4*(size()+1), ceil(n/grain))).  Callers that
-  /// pass that step back in as `grain` therefore observe chunk boundaries
-  /// exactly at multiples of it.
+  /// exclusive_scan and the frontier scan-compaction path): for fixed
+  /// (n, grain) the partition is deterministic, identical across both queue
+  /// modes, every chunk's `begin` is a multiple of `bulk_step(n, grain)`,
+  /// and callers that pass that step back in as `grain` observe chunk
+  /// boundaries exactly at multiples of it.
   void run_blocked(std::size_t n,
                    std::function<void(std::size_t, std::size_t)> const& fn,
                    std::size_t grain = 1);
 
+  /// The chunking contract, reified: the step `run_blocked(n, ..., grain)`
+  /// partitions with — ceil(n / min(4*(size()+1), ceil(n/grain))).  The
+  /// single source of truth for every caller that mirrors the partition
+  /// (for_each.hpp, frontier_gen.hpp).  Mode-independent by design: the
+  /// stealing and central substrates schedule the same chunks onto
+  /// different threads, which is what keeps scan-compacted frontier output
+  /// bit-identical across substrates.
+  std::size_t bulk_step(std::size_t n, std::size_t grain = 1) const noexcept {
+    if (n == 0)
+      return 1;
+    grain = grain == 0 ? 1 : grain;
+    std::size_t const lanes = num_workers_ + 1;
+    std::size_t const chunks =
+        std::min<std::size_t>(4 * lanes, (n + grain - 1) / grain);
+    return (n + chunks - 1) / chunks;
+  }
+
   /// Block until the task queue is empty and every worker is idle — the
   /// explicit barrier an asynchronous phase may (or may not) choose to end
-  /// with.
+  /// with.  Covers stolen tasks: a task popped from any deque releases its
+  /// pending slot only after its body returned *and* its captured state was
+  /// destroyed, so "every deque empty" alone is never treated as idle.
   void wait_idle();
 
   /// Count of tasks submitted and not yet finished (approximate; intended
@@ -98,6 +173,34 @@ class thread_pool {
   std::size_t pending() const noexcept {
     return pending_.load(std::memory_order_acquire);
   }
+
+  // --- lane identity (stealing substrate) ----------------------------------
+
+  /// Sentinel for "the calling thread holds no lane in this pool".
+  static constexpr std::size_t no_lane = static_cast<std::size_t>(-1);
+
+  /// The calling thread's stable lane index in this pool: workers are lanes
+  /// [0, size()); threads that ran `run_blocked` or called
+  /// `register_external_lane` hold an external lane in [size(),
+  /// max_lanes()).  Returns `no_lane` for unregistered threads and on the
+  /// central substrate.  Stable for the thread × pool lifetime — usable as
+  /// an index into per-lane scratch (parallel/lane_buffers.hpp) without any
+  /// shared counter.
+  std::size_t lane_id() const;
+
+  /// Upper bound (inclusive of unclaimed external slots) on lane indices
+  /// `lane_id()` can return — the size for lane-indexed scratch arrays.
+  /// Central substrate: size() + 1 (workers + the calling thread).
+  std::size_t max_lanes() const noexcept;
+
+  /// Claim (or re-fetch) a stable external lane for the calling thread —
+  /// the lane `run_blocked` pushes its chunks to, stealable by workers.
+  /// Long-lived coordinator threads (engine runners) call this once at
+  /// startup so their first superstep already runs deque-distributed.
+  /// Returns the lane index, or `no_lane` when all external slots are
+  /// claimed (run_blocked then falls back to the injector — correct, just
+  /// centralized) or on the central substrate.
+  std::size_t register_external_lane();
 
   /// Instantaneous occupancy snapshot — the observability feed for the
   /// telemetry layer (core/telemetry.hpp).  All fields are approximate
@@ -108,21 +211,51 @@ class thread_pool {
     std::size_t busy = 0;     ///< workers currently executing a task
   };
   occupancy stats() const noexcept {
-    return {workers_.size(), pending_.load(std::memory_order_relaxed),
+    return {num_workers_, pending_.load(std::memory_order_relaxed),
             busy_.load(std::memory_order_relaxed)};
   }
 
  private:
-  void worker_loop();
+  struct lane;  // Chase–Lev deque + claim flag; defined in thread_pool.cpp
+
+  void worker_loop_central();
+  void worker_loop_stealing(std::size_t id);
+  std::optional<std::function<void()>> find_task(std::size_t self);
+  std::optional<std::function<void()>> pop_injector(
+      std::atomic<std::size_t>& size_mirror,
+      std::deque<std::function<void()>>& q);
+  void execute(std::function<void()>&& task);
+  void finish_one();
+  void notify_sleepers(bool all);
+  bool visible_work() const;
+  void run_blocked_central(
+      std::size_t n, std::function<void(std::size_t, std::size_t)> const& fn,
+      std::size_t step, std::size_t chunks);
+
+  queue_mode const mode_;
+  std::uint64_t const pool_id_;  ///< process-unique; keys thread-local lanes
+  std::size_t num_workers_ = 0;  ///< set before workers start
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;         // normal priority
-  std::deque<std::function<void()>> urgent_queue_;  // popped first
+  std::vector<std::unique_ptr<lane>> lanes_;  // [0, P): workers; rest: external
+
+  // Central queue (central mode) / FIFO injector (stealing mode), plus the
+  // urgent class, shared by both substrates.  The atomic size mirrors let
+  // stealing workers probe without the lock; their seq_cst ordering is one
+  // half of the sleep handshake (the other half is the deque's seq_cst
+  // bottom publication) — see worker_loop_stealing.
+  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> urgent_queue_;
+  std::atomic<std::size_t> queue_size_{0};
+  std::atomic<std::size_t> urgent_size_{0};
+
   mutable std::mutex mutex_;
   std::condition_variable has_work_;
   std::condition_variable all_idle_;
-  std::atomic<std::size_t> pending_{0};  // queued + running tasks
-  std::atomic<std::size_t> busy_{0};     // workers inside task()
+  std::atomic<std::size_t> sleepers_{0};   // stealing-mode parked workers
+  std::uint64_t wake_counter_ = 0;         // guarded by mutex_
+  std::atomic<std::size_t> pending_{0};    // queued + running tasks
+  std::atomic<std::size_t> busy_{0};       // lanes inside task()
   bool stopping_ = false;
 };
 

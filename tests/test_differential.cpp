@@ -22,9 +22,11 @@
 #include "core/operators/advance.hpp"
 #include "core/operators/advance_balanced.hpp"
 #include "core/operators/filter.hpp"
+#include "core/operators/neighbor_reduce.hpp"
 #include "core/telemetry.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ex = essentials::execution;
 namespace op = essentials::operators;
@@ -496,6 +498,108 @@ TEST(Differential, UniquifyStrategiesProduceTheSameSet) {
         EXPECT_EQ(t.total_emits_scan(), 0u);
       }
     }
+  }
+}
+
+// --- cross-substrate matrix: stealing pool vs central-queue fallback -------
+
+// The ESSENTIALS_CENTRAL_QUEUE knob exists exactly for this: pin one pool
+// to each substrate and assert the full operator x generation-strategy
+// matrix computes the same function.  The scan path must be *bit-identical*
+// (its output order is a function of the deterministic chunking contract,
+// which both substrates share); the locked paths (bulk/listing3) promise
+// multiset equality.
+TEST(Differential, AdvanceMatrixAgreesAcrossQueueSubstrates) {
+  essentials::parallel::thread_pool stealing(
+      8, essentials::parallel::queue_mode::stealing);
+  essentials::parallel::thread_pool central(
+      8, essentials::parallel::queue_mode::central);
+  ex::parallel_policy const on_stealing(stealing);
+  ex::parallel_policy const on_central(central);
+
+  for (std::uint64_t seed : {3u, 11u}) {
+    auto const graph = random_graph(seed);
+    std::vector<vertex_t> seeds;
+    for (vertex_t v = 0; v < 200; v += 2)
+      seeds.push_back(v);
+    fr::sparse_frontier<vertex_t> const in(std::move(seeds));
+
+    for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                      ex::frontier_gen::listing3}) {
+      auto const a = op::advance_push(on_stealing.with_frontier(mode), graph,
+                                      in, pure_mod);
+      auto const b = op::advance_push(on_central.with_frontier(mode), graph,
+                                      in, pure_mod);
+      if (mode == ex::frontier_gen::scan)
+        EXPECT_EQ(a.to_vector(), b.to_vector()) << "scan must be bit-identical";
+      else
+        EXPECT_EQ(sorted(a.to_vector()), sorted(b.to_vector()));
+    }
+  }
+}
+
+TEST(Differential, FilterMatrixAgreesAcrossQueueSubstrates) {
+  essentials::parallel::thread_pool stealing(
+      8, essentials::parallel::queue_mode::stealing);
+  essentials::parallel::thread_pool central(
+      8, essentials::parallel::queue_mode::central);
+  ex::parallel_policy const on_stealing(stealing);
+  ex::parallel_policy const on_central(central);
+
+  std::vector<vertex_t> ids;
+  for (vertex_t v = 0; v < 10'000; ++v)
+    ids.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(ids));
+  auto const pred = [](vertex_t v) { return v % 7 != 2; };
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    auto const a = op::filter(on_stealing.with_frontier(mode), in, pred);
+    auto const b = op::filter(on_central.with_frontier(mode), in, pred);
+    if (mode == ex::frontier_gen::scan)
+      EXPECT_EQ(a.to_vector(), b.to_vector());  // deterministic input order
+    else
+      EXPECT_EQ(sorted(a.to_vector()), sorted(b.to_vector()));
+  }
+}
+
+TEST(Differential, NeighborReduceMatrixAgreesAcrossQueueSubstrates) {
+  essentials::parallel::thread_pool stealing(
+      8, essentials::parallel::queue_mode::stealing);
+  essentials::parallel::thread_pool central(
+      8, essentials::parallel::queue_mode::central);
+  ex::parallel_policy const on_stealing(stealing);
+  ex::parallel_policy const on_central(central);
+
+  auto const graph = random_graph(31);
+  std::size_t const n = static_cast<std::size_t>(graph.get_num_vertices());
+  std::vector<vertex_t> seeds;
+  for (vertex_t v = 0; v < 200; v += 3)
+    seeds.push_back(v);
+  fr::sparse_frontier<vertex_t> const in(std::move(seeds));
+
+  auto const map_w = [](vertex_t, vertex_t d, edge_t, weight_t w) {
+    return static_cast<double>(w) + static_cast<double>(d);
+  };
+  auto const combine = [](double a, double b) { return a + b; };
+  auto const activate = [](vertex_t, double acc) { return acc > 8.0; };
+
+  for (auto mode : {ex::frontier_gen::scan, ex::frontier_gen::bulk,
+                    ex::frontier_gen::listing3}) {
+    std::vector<double> out_a(n, -1.0), out_b(n, -1.0);
+    auto const fa = op::neighbor_reduce_activate(
+        on_stealing.with_frontier(mode), graph, in, 0.0, map_w, combine,
+        activate, out_a.data());
+    auto const fb = op::neighbor_reduce_activate(
+        on_central.with_frontier(mode), graph, in, 0.0, map_w, combine,
+        activate, out_b.data());
+    // out[v] is written once per active v regardless of scheduling: exact
+    // equality holds for every strategy on both substrates.
+    EXPECT_EQ(out_a, out_b);
+    if (mode == ex::frontier_gen::scan)
+      EXPECT_EQ(fa.to_vector(), fb.to_vector());
+    else
+      EXPECT_EQ(sorted(fa.to_vector()), sorted(fb.to_vector()));
   }
 }
 

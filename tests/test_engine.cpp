@@ -309,6 +309,72 @@ TEST(EngineScheduler, CancelStopsRunningJobAndDropsQueuedJob) {
   EXPECT_FALSE(ran.load());
 }
 
+// Substrate smoke: deadline and cancel must survive the work-stealing pool
+// exactly as they did on the central queue.  The job body drives real
+// run_blocked supersteps through an explicitly-pinned pool of each
+// queue_mode, so a cooperative stop has to land *between* supersteps while
+// chunks are being stolen and helped across lanes.
+TEST(EngineScheduler, DeadlineAndCancelSurviveBothQueueSubstrates) {
+  for (auto mode : {essentials::parallel::queue_mode::stealing,
+                    essentials::parallel::queue_mode::central}) {
+    essentials::parallel::thread_pool pool(4, mode);
+    exec::parallel_policy const on_pool(pool);
+    eng::job_scheduler sched({/*num_runners=*/1, /*max_queued=*/4});
+
+    // Deadline: a never-converging BSP loop whose step is pool-parallel.
+    std::atomic<std::size_t> supersteps{0};
+    eng::job_desc d;
+    d.algorithm = "spin";
+    d.deadline = 50ms;
+    auto timed = sched.submit(
+        d, [&](eng::job_context& ctx) -> std::shared_ptr<void const> {
+          fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+          en::bsp_loop(
+              std::move(f),
+              [&](fr::sparse_frontier<vertex_t> in, std::size_t) {
+                ++supersteps;
+                std::atomic<long long> sum{0};
+                pool.run_blocked(4096, [&sum](std::size_t lo, std::size_t hi) {
+                  sum.fetch_add(static_cast<long long>(hi - lo));
+                });
+                EXPECT_EQ(sum.load(), 4096);
+                std::this_thread::sleep_for(1ms);
+                return in;
+              },
+              en::any_of{en::frontier_empty{}, ctx.stop_condition()});
+          return std::make_shared<int const>(7);
+        });
+    EXPECT_EQ(timed->wait(), eng::job_status::deadline_expired)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_GE(supersteps.load(), 1u);
+    EXPECT_EQ(timed->result(), nullptr);
+
+    // Cancel: same shape, stopped from outside mid-enactment.
+    std::atomic<bool> entered{false};
+    eng::job_desc c;
+    c.algorithm = "cancellable";
+    auto running = sched.submit(
+        c, [&](eng::job_context& ctx) -> std::shared_ptr<void const> {
+          entered.store(true, std::memory_order_release);
+          fr::sparse_frontier<vertex_t> f(std::vector<vertex_t>{0});
+          en::bsp_loop(
+              std::move(f),
+              [&](fr::sparse_frontier<vertex_t> in, std::size_t) {
+                pool.run_blocked(1024, [](std::size_t, std::size_t) {});
+                std::this_thread::sleep_for(1ms);
+                return in;
+              },
+              en::any_of{en::frontier_empty{}, ctx.stop_condition()});
+          return std::make_shared<int const>(1);
+        });
+    while (!entered.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(1ms);
+    running->cancel();
+    EXPECT_EQ(running->wait(), eng::job_status::cancelled)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
 TEST(EngineScheduler, HigherPriorityRunsFirst) {
   eng::job_scheduler sched({1, 8});
   std::atomic<bool> release{false};

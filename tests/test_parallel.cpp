@@ -136,6 +136,55 @@ TEST(ThreadPool, DiscardPendingDropsQueuedNotRunning) {
   EXPECT_EQ(ran.load(), 1);  // only the already-running task completed
 }
 
+TEST(ThreadPool, DiscardPendingCountsUrgentClass) {
+  // Both priority classes are queued work: a shutdown drain must count and
+  // drop urgent tasks too, in both substrates.
+  for (auto mode : {p::queue_mode::stealing, p::queue_mode::central}) {
+    p::thread_pool pool(1, mode);
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+      started.store(true);
+      while (!release.load())
+        std::this_thread::yield();
+    });
+    while (!started.load())
+      std::this_thread::yield();
+    for (int i = 0; i < 3; ++i)
+      pool.submit([&] { ran.fetch_add(1); });
+    for (int i = 0; i < 5; ++i)
+      pool.submit_urgent([&] { ran.fetch_add(1); });
+    std::size_t const discarded = pool.discard_pending();
+    release.store(true);
+    pool.wait_idle();
+    EXPECT_EQ(discarded, 8u) << "normal + urgent, mode "
+                             << static_cast<int>(mode);
+    EXPECT_EQ(ran.load(), 0);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsNormalizedInExplicitModeCtor) {
+  p::thread_pool pool(0, p::queue_mode::stealing);
+  EXPECT_EQ(pool.size(), 1u);
+  p::thread_pool central(0, p::queue_mode::central);
+  EXPECT_EQ(central.size(), 1u);
+}
+
+TEST(ThreadPool, BulkStepHonorsGrainAndLaneCap) {
+  p::thread_pool pool(3);  // 4 lanes -> at most 16 chunks
+  // Small n with large grain: one chunk.
+  EXPECT_EQ(pool.bulk_step(10, 256), 10u);
+  // Large n, grain 1: capped at 4 * (size() + 1) chunks.
+  std::size_t const step = pool.bulk_step(1000, 1);
+  EXPECT_EQ(step, (1000 + 16 - 1) / 16);
+  // Grain is a floor on chunk size.
+  EXPECT_GE(pool.bulk_step(1000, 100), 100u);
+  // Degenerate inputs are normalized, never zero.
+  EXPECT_EQ(pool.bulk_step(0, 0), 1u);
+  EXPECT_GE(pool.bulk_step(5, 0), 1u);
+}
+
 TEST(ThreadPool, DefaultPoolHasAtLeastFourLanes) {
   EXPECT_GE(p::default_lanes(), 4u);
 }
