@@ -19,9 +19,18 @@
 //    queue at 8 threads (>= 0.85x throughput, absorbing noise), gated on
 //    hardware_concurrency() >= 4.
 // The process exits nonzero when an enforced bar fails.
+//
+// It also writes BENCH_numa.json: the discovered machine topology, a
+// per-socket scaling curve on the tiered-stealing substrate (degenerate
+// single-socket curve on one-package hardware), tiered-vs-flat steal-order
+// parity at 8 threads (>= 0.85x, gated on hw >= 4 — the "topology layer is
+// a measured no-op on flat hardware" acceptance bar), and first-touch vs
+// constructor-touch fill bandwidth for a CSR-build-sized array.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -30,6 +39,8 @@
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "essentials.hpp"
+#include "parallel/first_touch.hpp"
+#include "parallel/topology.hpp"
 
 namespace e = essentials;
 namespace op = essentials::operators;
@@ -217,6 +228,134 @@ int main(int argc, char** argv) {
   std::printf("  8t substrates: stealing %.3f ms, central %.3f ms (%.2fx)\n",
               stealing_sec * 1e3, central_sec * 1e3, parity);
 
+  // --- BENCH_numa.json: topology, per-socket curve, steal-order parity,
+  // first-touch bandwidth ---------------------------------------------------
+  auto const& topo = e::parallel::system_topology();
+  std::size_t const sockets =
+      std::max<std::size_t>(topo.num_packages, 1);
+  std::size_t const cores_per_socket =
+      std::max<std::size_t>(topo.num_cores / sockets, 1);
+
+  // Per-socket strong scaling: s sockets' worth of cores on the tiered
+  // substrate.  One package => one point (the degenerate curve).
+  struct socket_point {
+    std::size_t sockets;
+    std::size_t threads;
+    double best_sec;
+    double speedup;  // vs the 1-socket pool
+  };
+  std::vector<socket_point> socket_curve;
+  for (std::size_t s = 1; s <= sockets; ++s) {
+    std::size_t const t = s * cores_per_socket;
+    e::parallel::thread_pool pool(t, e::parallel::queue_mode::stealing,
+                                  e::parallel::steal_order::tiered);
+    socket_curve.push_back({s, t, measure_advance(pool, in), 0.0});
+  }
+  for (auto& p : socket_curve)
+    p.speedup =
+        p.best_sec > 0 ? socket_curve.front().best_sec / p.best_sec : 0.0;
+
+  // Tiered vs flat steal order at 8 threads.  On single-socket hardware the
+  // tiers collapse to one, so this measures the overhead of the tier walk
+  // itself — the bar enforces "topology awareness costs nothing when there
+  // is no topology".
+  double tiered_sec, flat_sec;
+  {
+    e::parallel::thread_pool pool(8, e::parallel::queue_mode::stealing,
+                                  e::parallel::steal_order::tiered);
+    tiered_sec = measure_advance(pool, in);
+  }
+  {
+    e::parallel::thread_pool pool(8, e::parallel::queue_mode::stealing,
+                                  e::parallel::steal_order::flat);
+    flat_sec = measure_advance(pool, in);
+  }
+  double const steal_parity =
+      tiered_sec > 0 ? flat_sec / tiered_sec : 0.0;  // >1: tiered wins
+  bool const steal_parity_enforced = hw >= 4;
+  constexpr double steal_parity_bar = 0.85;
+
+  // First-touch (page-parallel on the pool) vs constructor-touch (serial
+  // value-init, what std::vector always did) fill bandwidth over a
+  // CSR-build-sized array.  Best-of-3; first sample doubles as warm-up.
+  std::size_t const fill_n = std::size_t{1} << 23;  // 64 MiB of doubles
+  double ft_sec = 1e300, ct_sec = 1e300;
+  {
+    e::parallel::thread_pool pool(8, e::parallel::queue_mode::stealing,
+                                  e::parallel::steal_order::tiered);
+    for (int s = 0; s < 3; ++s) {
+      auto const t0 = std::chrono::steady_clock::now();
+      auto v = e::parallel::first_touch_vector<double>(pool, fill_n, 0.0,
+                                                       /*numa=*/true);
+      benchmark::DoNotOptimize(v.data());
+      double const dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ft_sec = std::min(ft_sec, dt);
+    }
+  }
+  for (int s = 0; s < 3; ++s) {
+    auto const t0 = std::chrono::steady_clock::now();
+    std::vector<double> v(fill_n, 0.0);
+    benchmark::DoNotOptimize(v.data());
+    double const dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ct_sec = std::min(ct_sec, dt);
+  }
+  double const fill_gb =
+      static_cast<double>(fill_n * sizeof(double)) / 1e9;
+  double const ft_gbps = ft_sec > 0 ? fill_gb / ft_sec : 0.0;
+  double const ct_gbps = ct_sec > 0 ? fill_gb / ct_sec : 0.0;
+
+  char const* const numa_path = "BENCH_numa.json";
+  if (std::FILE* f = std::fopen(numa_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"numa\",\n"
+                 "  \"workload\": \"advance_push rmat-12, frontier 4096\",\n"
+                 "  \"numa_enabled\": %s,\n"
+                 "  \"topology\": {\"cpus\": %zu, \"cores\": %zu, "
+                 "\"packages\": %zu, \"nodes\": %zu, \"smt\": %s, "
+                 "\"discovered\": %s},\n"
+                 "  \"hardware_concurrency\": %zu,\n"
+                 "  \"steal_parity_bar\": %.2f,\n"
+                 "  \"steal_parity_enforced\": %s,\n"
+                 "  \"sockets\": [\n",
+                 e::parallel::numa_enabled() ? "true" : "false",
+                 topo.num_cpus(), topo.num_cores, topo.num_packages,
+                 topo.num_nodes, topo.smt ? "true" : "false",
+                 topo.discovered ? "true" : "false", hw, steal_parity_bar,
+                 steal_parity_enforced ? "true" : "false");
+    for (std::size_t i = 0; i < socket_curve.size(); ++i) {
+      auto const& p = socket_curve[i];
+      std::fprintf(f,
+                   "    {\"sockets\": %zu, \"threads\": %zu, "
+                   "\"best_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                   p.sockets, p.threads, p.best_sec * 1e3, p.speedup,
+                   i + 1 < socket_curve.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"steal_order_8t\": {\"tiered_ms\": %.3f, "
+                 "\"flat_ms\": %.3f, \"flat_over_tiered\": %.3f},\n"
+                 "  \"first_touch\": {\"bytes\": %zu, "
+                 "\"first_touch_gbps\": %.2f, \"constructor_touch_gbps\": "
+                 "%.2f}\n}\n",
+                 tiered_sec * 1e3, flat_sec * 1e3, steal_parity,
+                 fill_n * sizeof(double), ft_gbps, ct_gbps);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", numa_path);
+    return 1;
+  }
+  std::printf("bench: wrote %s\n", numa_path);
+  for (auto const& p : socket_curve)
+    std::printf("  %zu socket(s) / %zu threads: %8.3f ms  (%.2fx)\n",
+                p.sockets, p.threads, p.best_sec * 1e3, p.speedup);
+  std::printf("  8t steal order: tiered %.3f ms, flat %.3f ms (%.2fx)\n",
+              tiered_sec * 1e3, flat_sec * 1e3, steal_parity);
+  std::printf("  fill %zu MiB: first-touch %.2f GB/s, constructor %.2f GB/s\n",
+              fill_n * sizeof(double) >> 20, ft_gbps, ct_gbps);
+
   int failures = 0;
   if (floor_enforced && curve.back().speedup < floor) {
     std::fprintf(stderr,
@@ -229,6 +368,13 @@ int main(int argc, char** argv) {
                  "FAIL: stealing substrate at %.2fx of central throughput "
                  "(bar %.2fx)\n",
                  parity, parity_bar);
+    ++failures;
+  }
+  if (steal_parity_enforced && steal_parity < steal_parity_bar) {
+    std::fprintf(stderr,
+                 "FAIL: tiered steal order at %.2fx of flat throughput "
+                 "(bar %.2fx)\n",
+                 steal_parity, steal_parity_bar);
     ++failures;
   }
   return failures == 0 ? 0 : 1;

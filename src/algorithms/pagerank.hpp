@@ -26,8 +26,28 @@
 #include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/first_touch.hpp"
 
 namespace essentials::algorithms {
+
+namespace detail {
+
+/// Rank-vector scratch, placed where the sweeps will stream it: under a
+/// parallel policy the pages are first-touched by the pool's workers (the
+/// same deterministic chunk map compute_vertices uses), under `seq` it is a
+/// plain serial fill.  Values are identical either way.
+template <typename P>
+parallel::numa_vector<double> pagerank_scratch(P const& policy, std::size_t n,
+                                               double value) {
+  if constexpr (std::decay_t<P>::is_parallel) {
+    return parallel::first_touch_vector<double>(policy.pool(), n, value);
+  } else {
+    (void)policy;
+    return parallel::numa_vector<double>(n, value);
+  }
+}
+
+}  // namespace detail
 
 struct pagerank_options {
   double damping = 0.85;
@@ -53,9 +73,9 @@ pagerank_result<> pagerank(P policy, G const& g, pagerank_options opt = {}) {
   if (n == 0)
     return result;
 
-  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
-  std::vector<double> next(n, 0.0);
-  std::vector<double> out_contrib(n, 0.0);
+  auto rank = detail::pagerank_scratch(policy, n, 1.0 / static_cast<double>(n));
+  auto next = detail::pagerank_scratch(policy, n, 0.0);
+  auto out_contrib = detail::pagerank_scratch(policy, n, 0.0);
 
   // Fixed-point telemetry: every sweep touches all n vertices, so each
   // superstep records frontier n -> n, direction pull, metric = L1 delta.
@@ -105,7 +125,9 @@ pagerank_result<> pagerank(P policy, G const& g, pagerank_options opt = {}) {
     if (delta < opt.tolerance)
       break;
   }
-  result.ranks = std::move(rank);
+  // result.ranks is a plain std::vector (public API type); the NUMA-placed
+  // scratch bridges out with one O(n) copy.
+  result.ranks.assign(rank.begin(), rank.end());
   return result;
 }
 
@@ -122,8 +144,8 @@ pagerank_result<> pagerank_push(P policy, G const& g,
   if (n == 0)
     return result;
 
-  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
-  std::vector<double> next(n, 0.0);
+  auto rank = detail::pagerank_scratch(policy, n, 1.0 / static_cast<double>(n));
+  auto next = detail::pagerank_scratch(policy, n, 0.0);
 
   telemetry::recorder* const rec = telemetry::current();
 
@@ -173,7 +195,9 @@ pagerank_result<> pagerank_push(P policy, G const& g,
     if (delta < opt.tolerance)
       break;
   }
-  result.ranks = std::move(rank);
+  // result.ranks is a plain std::vector (public API type); the NUMA-placed
+  // scratch bridges out with one O(n) copy.
+  result.ranks.assign(rank.begin(), rank.end());
   return result;
 }
 

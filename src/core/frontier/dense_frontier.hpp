@@ -30,6 +30,14 @@ class dense_frontier {
   /// A bitmap over the id universe [0, universe).  All inactive initially.
   explicit dense_frontier(std::size_t universe) : bits_(universe) {}
 
+  /// Pool-aware construction: the bitmap is zeroed page-parallel so its
+  /// pages are first-touched by the pool's workers (NUMA placement matches
+  /// the operators that will activate vertices), not by the constructing
+  /// thread.  Bit-identical to the serial constructor.
+  dense_frontier(parallel::thread_pool& pool, std::size_t universe) {
+    bits_.resize_and_clear(pool, universe);
+  }
+
   /// Number of active elements (popcount scan).
   std::size_t size() const { return bits_.count(); }
 
@@ -42,6 +50,12 @@ class dense_frontier {
 
   void resize_universe(std::size_t universe) {
     bits_.resize_and_clear(universe);
+  }
+
+  /// Pool-aware resize: same bits, page-parallel zero-fill (first-touch
+  /// placement by the workers that will write the bitmap).
+  void resize_universe(parallel::thread_pool& pool, std::size_t universe) {
+    bits_.resize_and_clear(pool, universe);
   }
 
   /// Thread-safe activation; keeps the Listing 2 spelling.

@@ -74,14 +74,33 @@ parallel::lane_buffers<T>& lane_scratch() {
   return scratch;
 }
 
+/// One claim bitmap per coordinating thread, shared by both dedup_scratch
+/// overloads so alternating call styles reuse one allocation.
+inline parallel::atomic_bitset& dedup_bitmap() {
+  thread_local parallel::atomic_bitset bitmap;
+  return bitmap;
+}
+
 }  // namespace detail
 
 /// Thread-local claim-bitmap scratch for dedup filtering: resized (and
 /// cleared) to `universe` bits on each call, reusing the allocation when
 /// the universe shrinks or stays put.
 inline parallel::atomic_bitset& dedup_scratch(std::size_t universe) {
-  thread_local parallel::atomic_bitset bitmap;
+  auto& bitmap = detail::dedup_bitmap();
   bitmap.resize_and_clear(universe);
+  return bitmap;
+}
+
+/// Pool-aware variant: the clear runs page-parallel on `pool` (when NUMA
+/// placement is on and the bitmap is big enough), so the claim bitmap's
+/// pages are first-touched by the workers whose emit closures will claim
+/// bits — not by whichever thread coordinates the superstep.  Identical
+/// bits either way.
+inline parallel::atomic_bitset& dedup_scratch(parallel::thread_pool& pool,
+                                              std::size_t universe) {
+  auto& bitmap = detail::dedup_bitmap();
+  bitmap.resize_and_clear(pool, universe);
   return bitmap;
 }
 

@@ -69,7 +69,8 @@ namespace detail {
 /// off (thread-local scratch; cleared per call).
 inline parallel::atomic_bitset* dedup_filter(
     execution::parallel_policy const& policy, std::size_t universe) {
-  return policy.dedup ? &frontier::dedup_scratch(universe) : nullptr;
+  return policy.dedup ? &frontier::dedup_scratch(policy.pool(), universe)
+                      : nullptr;
 }
 
 /// Flush a generation round's stats into the operator probe.

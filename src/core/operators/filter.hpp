@@ -135,7 +135,7 @@ void uniquify(execution::parallel_policy policy,
         for (std::size_t i = lo; i < hi; ++i)
           emit(active[i]);
       },
-      &frontier::dedup_scratch(universe));
+      &frontier::dedup_scratch(policy.pool(), universe));
   detail::flush_generate_stats(probe, policy.frontier, stats);
   probe.set_items_out(out.size());
   swap(f, out);

@@ -80,7 +80,7 @@ class compressed_graph {
       : num_vertices_(csr.num_rows),
         num_edges_(csr.num_edges()),
         offsets_(static_cast<std::size_t>(csr.num_rows) + 1, 0),
-        weights_(csr.values) {
+        weights_(csr.values.begin(), csr.values.end()) {
     bytes_.reserve(csr.column_indices.size());  // >=1 byte per edge
     for (V v = 0; v < csr.num_rows; ++v) {
       offsets_[static_cast<std::size_t>(v)] = bytes_.size();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "parallel/first_touch.hpp"
 
 namespace essentials::graph {
 
@@ -59,9 +60,13 @@ struct csr_t {
 
   V num_rows = 0;
   V num_cols = 0;
-  std::vector<E> row_offsets;     ///< size num_rows + 1
-  std::vector<V> column_indices;  ///< size num_edges
-  std::vector<W> values;          ///< size num_edges
+  // numa_vector: resizing claims address space without touching pages, so
+  // builders (graph/build.hpp) control *which thread* first writes each
+  // page — the first-touch NUMA placement the streaming operators depend
+  // on.  Element-wise identical to std::vector in every other respect.
+  parallel::numa_vector<E> row_offsets;     ///< size num_rows + 1
+  parallel::numa_vector<V> column_indices;  ///< size num_edges
+  parallel::numa_vector<W> values;          ///< size num_edges
 
   E num_edges() const { return static_cast<E>(column_indices.size()); }
 };
@@ -78,9 +83,10 @@ struct csc_t {
 
   V num_rows = 0;
   V num_cols = 0;
-  std::vector<E> column_offsets;  ///< size num_cols + 1
-  std::vector<V> row_indices;     ///< size num_edges
-  std::vector<W> values;          ///< size num_edges
+  // numa_vector for the same first-touch reasons as csr_t.
+  parallel::numa_vector<E> column_offsets;  ///< size num_cols + 1
+  parallel::numa_vector<V> row_indices;     ///< size num_edges
+  parallel::numa_vector<W> values;          ///< size num_edges
 
   E num_edges() const { return static_cast<E>(row_indices.size()); }
 };

@@ -24,6 +24,9 @@
 
 #include "core/types.hpp"
 #include "graph/formats.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace essentials::graph {
 
@@ -32,21 +35,33 @@ template <typename V = vertex_t>
 using permutation_t = std::vector<V>;
 
 /// Degree-descending order: new id 0 is the highest-out-degree vertex.
-/// Stable (ties keep original order) so it is deterministic.
+/// Ties keep original id order, so the result is deterministic — and since
+/// the sorted elements are *distinct* vertex ids, the unstable
+/// `parallel::sort` under the (degree desc, id asc) comparator reproduces
+/// the historical `std::stable_sort` output exactly, which is what lets
+/// the named locality lever run multi-threaded on million-vertex graphs.
 template <typename V, typename E, typename W>
 permutation_t<V> order_by_degree(csr_t<V, E, W> const& csr) {
   std::size_t const n = static_cast<std::size_t>(csr.num_rows);
+  auto& pool = parallel::default_pool();
+  std::vector<E> degree(n);
+  parallel::parallel_for(pool, 0, n, [&](std::size_t v) {
+    degree[v] = csr.row_offsets[v + 1] - csr.row_offsets[v];
+  });
   std::vector<V> by_degree(n);
-  std::iota(by_degree.begin(), by_degree.end(), V{0});
-  std::stable_sort(by_degree.begin(), by_degree.end(), [&](V a, V b) {
-    return (csr.row_offsets[static_cast<std::size_t>(a) + 1] -
-            csr.row_offsets[static_cast<std::size_t>(a)]) >
-           (csr.row_offsets[static_cast<std::size_t>(b) + 1] -
-            csr.row_offsets[static_cast<std::size_t>(b)]);
+  parallel::parallel_for(pool, 0, n,
+                         [&](std::size_t v) { by_degree[v] = static_cast<V>(v); });
+  parallel::sort(pool, by_degree, [&](V a, V b) {
+    E const da = degree[static_cast<std::size_t>(a)];
+    E const db = degree[static_cast<std::size_t>(b)];
+    if (da != db)
+      return da > db;
+    return a < b;  // id tiebreak == stability over distinct elements
   });
   permutation_t<V> new_id(n);
-  for (std::size_t pos = 0; pos < n; ++pos)
+  parallel::parallel_for(pool, 0, n, [&](std::size_t pos) {
     new_id[static_cast<std::size_t>(by_degree[pos])] = static_cast<V>(pos);
+  });
   return new_id;
 }
 
@@ -80,29 +95,38 @@ permutation_t<V> order_by_bfs(csr_t<V, E, W> const& csr, V root = V{0}) {
   return new_id;
 }
 
-/// Relabel every edge of `coo` through `new_id`.
+/// Relabel every edge of `coo` through `new_id`.  Edge order is preserved
+/// (slot i maps to slot i), so the relabeling is a parallel elementwise map.
 template <typename V, typename E, typename W>
 coo_t<V, E, W> apply_permutation(coo_t<V, E, W> const& coo,
                                  permutation_t<V> const& new_id) {
   expects(new_id.size() == static_cast<std::size_t>(coo.num_rows),
           "apply_permutation: size mismatch");
+  std::size_t const m = coo.row_indices.size();
   coo_t<V, E, W> out;
   out.num_rows = coo.num_rows;
   out.num_cols = coo.num_cols;
-  out.reserve(coo.row_indices.size());
-  for (std::size_t i = 0; i < coo.row_indices.size(); ++i)
-    out.push_back(new_id[static_cast<std::size_t>(coo.row_indices[i])],
-                  new_id[static_cast<std::size_t>(coo.column_indices[i])],
-                  coo.values[i]);
+  out.row_indices.resize(m);
+  out.column_indices.resize(m);
+  out.values.resize(m);
+  parallel::parallel_for(parallel::default_pool(), 0, m, [&](std::size_t i) {
+    out.row_indices[i] = new_id[static_cast<std::size_t>(coo.row_indices[i])];
+    out.column_indices[i] =
+        new_id[static_cast<std::size_t>(coo.column_indices[i])];
+    out.values[i] = coo.values[i];
+  });
   return out;
 }
 
-/// old_id[new] such that old_id[new_id[v]] == v.
+/// old_id[new] such that old_id[new_id[v]] == v.  Parallel scatter — slots
+/// are disjoint because new_id is a permutation.
 template <typename V>
 permutation_t<V> permutation_inverse(permutation_t<V> const& new_id) {
   permutation_t<V> old_id(new_id.size());
-  for (std::size_t v = 0; v < new_id.size(); ++v)
-    old_id[static_cast<std::size_t>(new_id[v])] = static_cast<V>(v);
+  parallel::parallel_for(
+      parallel::default_pool(), 0, new_id.size(), [&](std::size_t v) {
+        old_id[static_cast<std::size_t>(new_id[v])] = static_cast<V>(v);
+      });
   return old_id;
 }
 
@@ -114,15 +138,22 @@ double average_edge_span(csr_t<V, E, W> const& csr,
   std::size_t const m = csr.column_indices.size();
   if (m == 0)
     return 0.0;
-  double total = 0.0;
-  for (V u = 0; u < csr.num_rows; ++u)
-    for (E e = csr.row_offsets[static_cast<std::size_t>(u)];
-         e < csr.row_offsets[static_cast<std::size_t>(u) + 1]; ++e) {
-      auto const v = csr.column_indices[static_cast<std::size_t>(e)];
-      total += std::abs(
-          static_cast<double>(new_id[static_cast<std::size_t>(u)]) -
-          static_cast<double>(new_id[static_cast<std::size_t>(v)]));
-    }
+  // Per-vertex map + commutative double addition.  Chunk sums combine in
+  // nondeterministic order, so the last few bits can differ run to run —
+  // acceptable for a locality *score* (tests compare with tolerance).
+  double const total = parallel::parallel_reduce(
+      parallel::default_pool(), 0, static_cast<std::size_t>(csr.num_rows),
+      0.0,
+      [&](std::size_t u) {
+        double acc = 0.0;
+        for (E e = csr.row_offsets[u]; e < csr.row_offsets[u + 1]; ++e) {
+          auto const v = csr.column_indices[static_cast<std::size_t>(e)];
+          acc += std::abs(static_cast<double>(new_id[u]) -
+                          static_cast<double>(new_id[static_cast<std::size_t>(v)]));
+        }
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
   return total / static_cast<double>(m);
 }
 

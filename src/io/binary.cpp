@@ -25,15 +25,17 @@ void read_pod(std::istream& in, T& value) {
     throw graph_error("binary_csr: truncated input");
 }
 
-template <typename T>
-void write_vec(std::ostream& out, std::vector<T> const& v) {
+// Generic over the vector's allocator so the CSR's numa_vector fields and
+// plain std::vectors both serialize through one pair of helpers.
+template <typename T, typename A>
+void write_vec(std::ostream& out, std::vector<T, A> const& v) {
   write_pod(out, static_cast<std::uint64_t>(v.size()));
   out.write(reinterpret_cast<char const*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-template <typename T>
-void read_vec(std::istream& in, std::vector<T>& v) {
+template <typename T, typename A>
+void read_vec(std::istream& in, std::vector<T, A>& v) {
   std::uint64_t size = 0;
   read_pod(in, size);
   v.resize(static_cast<std::size_t>(size));

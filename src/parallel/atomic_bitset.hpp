@@ -9,9 +9,13 @@
 /// operator, so the bits must be set atomically; `test_and_set` also gives
 /// filters a linearizable "first visitor wins" primitive for free.
 ///
-/// Storage is a plain std::vector of 64-bit words accessed through
+/// Storage is a `numa_vector` of 64-bit words accessed through
 /// std::atomic_ref, which keeps the container copyable/resizable while the
-/// mutating operations stay atomic.
+/// mutating operations stay atomic.  The pool-aware `resize_and_clear`
+/// overload zeroes the words page-parallel through the pool's deterministic
+/// chunking, so a big bitmap's pages are first-touched — and therefore
+/// NUMA-placed — by the workers that will hammer them, instead of all
+/// landing on the constructing thread's node.
 
 #include <atomic>
 #include <cstddef>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "parallel/first_touch.hpp"
 
 namespace essentials::parallel {
 
@@ -32,10 +37,23 @@ class atomic_bitset {
 
   std::size_t size() const noexcept { return num_bits_; }
 
-  /// Grow/shrink to `num_bits`; clears every bit.
+  /// Grow/shrink to `num_bits`; clears every bit (serial touch).
   void resize_and_clear(std::size_t num_bits) {
     num_bits_ = num_bits;
     words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  /// Pool-aware variant: identical bits, but the zero-fill runs
+  /// page-parallel on the pool (when NUMA placement is on and the bitmap is
+  /// big enough to matter), so pages land on the nodes of the workers that
+  /// will write them.  Callers must not race this with concurrent
+  /// readers/writers — same contract as the serial overload.
+  void resize_and_clear(thread_pool& pool, std::size_t num_bits) {
+    num_bits_ = num_bits;
+    std::size_t const num_words = (num_bits + 63) / 64;
+    words_.clear();
+    words_.resize(num_words);  // default-init: no page touch yet
+    first_touch_fill(pool, words_.data(), num_words, std::uint64_t{0});
   }
 
   /// Clear all bits.  Not atomic as a whole — callers clear between
@@ -113,7 +131,7 @@ class atomic_bitset {
   }
 
   std::size_t num_bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  numa_vector<std::uint64_t> words_;
 };
 
 }  // namespace essentials::parallel

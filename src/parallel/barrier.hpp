@@ -59,7 +59,18 @@ class tree_barrier {
   static constexpr std::size_t fan_in = 4;
 
   explicit tree_barrier(std::size_t participants)
-      : participants_(participants == 0 ? 1 : participants) {
+      : tree_barrier(participants, {}) {}
+
+  /// Topology-aware layout: `slot_of[i]` is participant i's leaf position.
+  /// `parallel::topo_leaf_order` (topology.hpp) computes a permutation that
+  /// places one socket's participants in contiguous slots, so their arrivals
+  /// share leaf subtrees and combine *within* the socket — exactly one
+  /// arrival per socket subtree crosses toward the root (the katana
+  /// `Barrier_Topo` shift).  An empty `slot_of` is the identity layout; a
+  /// non-empty one must be a permutation of [0, participants).
+  tree_barrier(std::size_t participants, std::vector<std::size_t> slot_of)
+      : participants_(participants == 0 ? 1 : participants),
+        slot_of_(std::move(slot_of)) {
     // Build the combining tree level by level: level 0's node count is
     // ceil(P / fan_in); each level combines fan_in children of the one
     // below, until a single root remains.
@@ -104,8 +115,10 @@ class tree_barrier {
   void arrive_and_wait(std::size_t id) {
     std::uint64_t const my_generation = sense_.load(std::memory_order_acquire);
     // Climb: the last arriver at each node carries one arrival upward.
+    // Under a topology layout the participant climbs from its *assigned*
+    // leaf slot; the tree shape itself is layout-oblivious.
     std::size_t level = 0;
-    std::size_t index = id;
+    std::size_t index = slot_of_.empty() ? id : slot_of_[id];
     while (true) {
       node& n = nodes_[level_offsets_[level] + index / fan_in];
       if (n.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
@@ -147,6 +160,7 @@ class tree_barrier {
   }
 
   std::size_t participants_;
+  std::vector<std::size_t> slot_of_;     // leaf permutation; empty = identity
   std::vector<node_shape> levels_;       // construction-time shape
   std::vector<std::size_t> level_offsets_;
   std::vector<node> nodes_;              // leaves first, root last

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file parallel/first_touch.hpp
+/// \brief First-touch memory placement: page-granular parallel initialization
+/// so dense arrays land on the NUMA node of the threads that will stream them.
+///
+/// Linux places a page on the node of the thread that *first writes* it.
+/// `std::vector<T>`'s value-initializing resize defeats that: the constructing
+/// thread zero-writes every page, so a CSR built on the main thread parks the
+/// whole graph on one node and every remote socket pays interconnect latency
+/// for each edge read — the exact bandwidth wall the paper's streaming model
+/// says we cannot afford.  Two pieces fix it:
+///
+///  1. `default_init_allocator` / `numa_vector`: a vector whose `resize`
+///     *default*-initializes trivial elements — no write, no page touch.
+///     Sizing a `numa_vector` claims address space but leaves physical
+///     placement undecided.
+///  2. `first_touch_fill(pool, ...)`: page-granular parallel fill through the
+///     pool's deterministic chunking.  Each worker's first write places the
+///     pages of the chunks it executes, distributing the array across the
+///     nodes of the workers that will later stream it (the same chunk map
+///     `run_blocked` uses for operator supersteps — placement matches use).
+///
+/// On single-node machines (the CI container) both pieces still run; they
+/// just cannot change placement, which is what keeps the NUMA-on path a
+/// measured no-op there and lets the differential suite assert bit-identical
+/// results against the flat baseline.  Everything honours `numa_enabled()`:
+/// with the knob off, helpers collapse to the plain serial fill.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "parallel/topology.hpp"
+
+namespace essentials::parallel {
+
+/// Allocator adaptor that turns value-initialization into
+/// default-initialization: `construct(p)` with no arguments becomes a no-op
+/// for trivially-constructible T, so `vector::resize(n)` claims capacity
+/// without writing — and therefore without touching — the new pages.
+/// Everything else (copy/move construct, destroy, allocate) forwards to the
+/// underlying allocator unchanged.
+template <typename T, typename A = std::allocator<T>>
+class default_init_allocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other = default_init_allocator<
+        U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  /// The money shot: value-init requests with no arguments become
+  /// default-init, which for trivial T emits no store at all.
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+template <typename A>
+inline constexpr bool is_default_init_allocator_v = false;
+template <typename T, typename A>
+inline constexpr bool
+    is_default_init_allocator_v<default_init_allocator<T, A>> = true;
+
+/// `std::vector<T>` and a default-init-allocated vector are distinct types,
+/// so the standard allocator-homogeneous operator== does not apply.  This
+/// heterogeneous overload (found by ADL through the allocator's namespace;
+/// the reversed argument order comes from C++20 rewritten candidates) keeps
+/// element-wise comparisons — tests, callers holding plain vectors —
+/// working across the allocator boundary.  Constrained so same-allocator
+/// comparisons still resolve to the standard operator.
+template <typename T, typename A1, typename A2>
+  requires(!is_default_init_allocator_v<A2>)
+bool operator==(std::vector<T, default_init_allocator<T, A1>> const& a,
+                std::vector<T, A2> const& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+/// A vector whose resize leaves new elements uninitialized (trivial T):
+/// size it first, then establish page placement with `first_touch_fill`.
+/// Interchangeable with `std::vector<T>` element-wise; the allocator only
+/// changes *when* pages are first written, never what the bytes are after a
+/// fill.  Used for the framework's big interior arrays (CSR offsets/indices,
+/// lane buffers, bitset words, per-vertex scratch).
+template <typename T>
+using numa_vector = std::vector<T, default_init_allocator<T>>;
+
+/// Page granularity for placement chunking.  4 KiB everywhere we run;
+/// getting this wrong only blurs placement at chunk edges, never correctness.
+inline constexpr std::size_t first_touch_page_bytes = 4096;
+
+/// Arrays below this size are not worth a parallel fill: the fork-join cost
+/// exceeds the fill, and small arrays live in cache anyway.
+inline constexpr std::size_t first_touch_min_bytes = std::size_t{1} << 20;
+
+/// Fill [data, data + n) with `value`, first-touching pages in parallel via
+/// the pool's deterministic chunk map when `numa` is set (and the array is
+/// big enough to matter); plain serial fill otherwise.  The parallel and
+/// serial paths write byte-identical contents — only physical page placement
+/// differs — so callers never need a differential carve-out for this.
+template <typename T>
+void first_touch_fill(thread_pool& pool, T* data, std::size_t n,
+                      T const& value, bool numa = numa_enabled()) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "first_touch_fill is for trivially copyable element types");
+  if (n == 0)
+    return;
+  std::size_t const bytes = n * sizeof(T);
+  if (!numa || bytes < first_touch_min_bytes || pool.size() < 2) {
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = value;
+    return;
+  }
+  // Chunk on page boundaries so no two workers share a page's first write.
+  std::size_t const per_page =
+      std::max<std::size_t>(first_touch_page_bytes / sizeof(T), 1);
+  pool.run_blocked(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          data[i] = value;
+      },
+      per_page);
+}
+
+/// Size + place in one call: a `numa_vector<T>` of n copies of `value`,
+/// pages distributed across the pool's workers when `numa` is set.  The
+/// NUMA-off path is the flat baseline: serial fill, same bytes.
+template <typename T>
+numa_vector<T> first_touch_vector(thread_pool& pool, std::size_t n,
+                                  T const& value = T{},
+                                  bool numa = numa_enabled()) {
+  numa_vector<T> v;
+  v.resize(n);  // default-init: address space only, no page touch
+  first_touch_fill(pool, v.data(), n, value, numa);
+  return v;
+}
+
+}  // namespace essentials::parallel

@@ -27,6 +27,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "parallel/first_touch.hpp"
+
 namespace essentials::parallel {
 
 /// Destructive-interference granularity.  A constant 64 rather than
@@ -42,8 +44,16 @@ class lane_buffers {
   /// of emissions a dedup filter suppressed (flushed to telemetry by the
   /// operator that ran the round).  Padded so adjacent lanes never share a
   /// cache line.
+  ///
+  /// The buffer is a `numa_vector`: growth claims address space without
+  /// value-initializing, so pages are first touched by the lane's *owner*
+  /// pushing emissions — placing each lane's backing store on its worker's
+  /// NUMA node (the first-touch contract of parallel/first_touch.hpp).
+  /// With the deterministic chunk→lane map, the worker that emits into a
+  /// lane this superstep is the likeliest to emit into it next superstep,
+  /// so warm capacity stays node-local across rounds.
   struct alignas(cache_line_size) lane_t {
-    std::vector<T> buf;
+    numa_vector<T> buf;
     std::size_t suppressed = 0;  ///< dedup-filtered emissions this round
   };
 

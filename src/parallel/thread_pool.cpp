@@ -68,6 +68,10 @@ struct thread_pool::lane {
   std::atomic<bool> claimed{false};  // meaningful for external slots only
 };
 
+steal_order default_steal_order() {
+  return numa_enabled() ? steal_order::tiered : steal_order::flat;
+}
+
 queue_mode default_queue_mode() {
   static queue_mode const mode = [] {
 #if defined(ESSENTIALS_CENTRAL_QUEUE)
@@ -88,15 +92,29 @@ queue_mode default_queue_mode() {
 }
 
 thread_pool::thread_pool(std::size_t num_threads)
-    : thread_pool(num_threads, default_queue_mode()) {}
+    : thread_pool(num_threads, default_queue_mode(), default_steal_order()) {}
 
 thread_pool::thread_pool(std::size_t num_threads, queue_mode mode)
-    : mode_(mode), pool_id_(next_pool_id()) {
+    : thread_pool(num_threads, mode, default_steal_order()) {}
+
+thread_pool::thread_pool(std::size_t num_threads, queue_mode mode,
+                         steal_order order)
+    : mode_(mode), order_(order), pool_id_(next_pool_id()) {
   num_workers_ = num_threads == 0 ? 1 : num_threads;
   if (mode_ == queue_mode::stealing) {
     lanes_.reserve(num_workers_ + external_lane_slots);
     for (std::size_t i = 0; i < num_workers_ + external_lane_slots; ++i)
       lanes_.push_back(std::make_unique<lane>());
+    // Topology packing: worker i runs near cpu_of_worker_[i] (advisory
+    // unless ESSENTIALS_PIN), and — under tiered order — steals from SMT
+    // siblings, then its socket, then remote sockets.  Built before any
+    // worker starts, so workers read it without synchronization.
+    cpu_of_worker_ = assign_workers(system_topology(), num_workers_);
+    if (order_ == steal_order::tiered) {
+      tiers_.reserve(num_workers_);
+      for (std::size_t i = 0; i < num_workers_; ++i)
+        tiers_.push_back(tiered_victims(system_topology(), cpu_of_worker_, i));
+    }
   }
   workers_.reserve(num_workers_);
   for (std::size_t i = 0; i < num_workers_; ++i) {
@@ -271,6 +289,18 @@ void thread_pool::run_blocked_central(
 
 void thread_pool::worker_loop_stealing(std::size_t id) {
   tls_lanes().push_back({pool_id_, id});
+  if (auto const seed = steal_seed()) {
+    // Deterministic victim streams: splitmix64 of (seed, lane) gives each
+    // worker a distinct but reproducible sweep, so a torture-suite failure
+    // replays with ESSENTIALS_STEAL_SEED=<seed>.
+    std::uint64_t z = *seed + 0x9e3779b97f4a7c15ull * (id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    steal_rng() = z | 1;
+  }
+  if (pin_enabled() && id < cpu_of_worker_.size())
+    pin_thread_to_cpu(cpu_of_worker_[id]);  // failure = performance shrug
   for (;;) {
     if (auto task = find_task(id)) {
       execute(std::move(*task));
@@ -315,17 +345,56 @@ std::optional<std::function<void()>> thread_pool::find_task(std::size_t self) {
   if (queue_size_.load(std::memory_order_seq_cst) != 0)
     if (auto task = pop_injector(queue_size_, queue_))
       return task;
-  // 4. Steal sweep over randomized victims (two passes' worth of attempts;
-  //    a miss here is fine — the sleep path re-probes deterministically).
+  // 4. Steal sweep.  Tiered order (workers only — external lanes have no
+  //    topology placement): exhaust same-core SMT siblings, then the same
+  //    socket, then remote sockets, then external lanes, randomizing the
+  //    start *within* each tier so siblings don't convoy on one victim — a
+  //    steal crosses the interconnect only when the whole local socket is
+  //    dry.  Flat order: uniform-random sweep over all lanes (the PR 6
+  //    baseline).  A miss either way is fine — the sleep path re-probes
+  //    deterministically.
+  auto const try_steal =
+      [&](std::size_t victim) -> std::optional<std::function<void()>> {
+    if (auto ptr = lanes_[victim]->deque.steal()) {
+      std::unique_ptr<std::function<void()>> owned(*ptr);
+      return std::move(*owned);
+    }
+    return std::nullopt;
+  };
+  if (order_ == steal_order::tiered && self < num_workers_) {
+    auto const& tiers = tiers_[self];
+    std::size_t const externals = lanes_.size() - num_workers_;
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      std::size_t tier_begin = 0;
+      for (std::size_t const tier_end :
+           {tiers.smt_end, tiers.package_end, tiers.victims.size()}) {
+        std::size_t const count = tier_end - tier_begin;
+        if (count != 0) {
+          std::size_t const start = next_victim(count);
+          for (std::size_t k = 0; k < count; ++k)
+            if (auto task = try_steal(
+                    tiers.victims[tier_begin + (start + k) % count]))
+              return task;
+        }
+        tier_begin = tier_end;
+      }
+      if (externals != 0) {
+        std::size_t const start = next_victim(externals);
+        for (std::size_t k = 0; k < externals; ++k)
+          if (auto task =
+                  try_steal(num_workers_ + (start + k) % externals))
+            return task;
+      }
+    }
+    return std::nullopt;
+  }
   std::size_t const lanes = lanes_.size();
   for (std::size_t attempt = 0; attempt < 2 * lanes; ++attempt) {
     std::size_t const victim = next_victim(lanes);
     if (victim == self)
       continue;
-    if (auto ptr = lanes_[victim]->deque.steal()) {
-      std::unique_ptr<std::function<void()>> owned(*ptr);
-      return std::move(*owned);
-    }
+    if (auto task = try_steal(victim))
+      return task;
   }
   return std::nullopt;
 }

@@ -57,6 +57,8 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/topology.hpp"
+
 namespace essentials::parallel {
 
 /// Which execution substrate a pool instance uses.
@@ -73,6 +75,20 @@ enum class queue_mode : unsigned char {
 /// and cached (pools constructed later in the process see the same answer).
 queue_mode default_queue_mode();
 
+/// How a stealing worker orders its victims (central substrate ignores it).
+enum class steal_order : unsigned char {
+  flat,    ///< uniform-random sweep over all lanes (the PR 6 behaviour)
+  tiered,  ///< same-core SMT siblings → same socket → remote sockets →
+           ///< external lanes; randomized within each tier
+};
+
+/// The process-wide default steal order: `tiered` when `numa_enabled()`
+/// (parallel/topology.hpp), `flat` otherwise.  On single-socket machines the
+/// tiers degenerate — every victim lands in the same-socket tier — so the
+/// default is safe everywhere; `ESSENTIALS_NUMA=off` restores the flat sweep
+/// as a live differential baseline.
+steal_order default_steal_order();
+
 class thread_pool {
  public:
   /// Creates `num_threads` persistent workers.  `num_threads == 0` is
@@ -85,6 +101,12 @@ class thread_pool {
   /// bit-identical operator output.
   thread_pool(std::size_t num_threads, queue_mode mode);
 
+  /// Fully explicit constructor: substrate *and* steal order.  Differential
+  /// tests construct a `flat` and a `tiered` pool side by side — steal order
+  /// only changes which victim a thief probes first, never the chunk map, so
+  /// operator output must stay bit-identical.
+  thread_pool(std::size_t num_threads, queue_mode mode, steal_order order);
+
   ~thread_pool();
 
   thread_pool(thread_pool const&) = delete;
@@ -95,6 +117,17 @@ class thread_pool {
 
   /// The execution substrate this pool runs on.
   queue_mode mode() const noexcept { return mode_; }
+
+  /// The victim-selection order stealing workers use.
+  steal_order order() const noexcept { return order_; }
+
+  /// The CPU each worker was assigned by the topology packing (index =
+  /// worker lane id).  Advisory placement unless `ESSENTIALS_PIN` is set;
+  /// exposed so callers (benchmarks, barrier layout) can reconstruct the
+  /// locality map the steal tiers were derived from.
+  std::vector<int> const& worker_cpus() const noexcept {
+    return cpu_of_worker_;
+  }
 
   /// Enqueue a fire-and-forget task (asynchronous model).  The task may run
   /// on any worker at any later time; use wait_idle() for a full barrier.
@@ -233,11 +266,18 @@ class thread_pool {
       std::size_t step, std::size_t chunks);
 
   queue_mode const mode_;
+  steal_order const order_;
   std::uint64_t const pool_id_;  ///< process-unique; keys thread-local lanes
   std::size_t num_workers_ = 0;  ///< set before workers start
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<lane>> lanes_;  // [0, P): workers; rest: external
+
+  // Topology placement (stealing substrate): worker→cpu packing and the
+  // per-worker tiered victim lists derived from it.  Built once in the
+  // constructor before any worker starts; read-only afterwards.
+  std::vector<int> cpu_of_worker_;
+  std::vector<steal_tiers> tiers_;  // [0, P), used when order_ == tiered
 
   // Central queue (central mode) / FIFO injector (stealing mode), plus the
   // urgent class, shared by both substrates.  The atomic size mirrors let

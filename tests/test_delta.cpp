@@ -721,6 +721,11 @@ TEST(DeltaTsanEpochStamping, SnapshotVisibleMutationsAreNeverDroppedFromDeltas) 
   constexpr vertex_t n = 128;
   constexpr int kWriters = 4;
   constexpr int kEpochs = 20;
+  // Each writer's budget keeps the total below the delta-log capacity
+  // (4 * 14'000 < 65'536 records): writers fast enough to overflow the log
+  // would legitimately truncate it and mark deltas incomplete — that is
+  // capacity policy, not the seal-after-snapshot race this test targets.
+  constexpr int kWritesPerWriter = 14'000;
   dyn_t g(n);
 
   std::atomic<bool> stop{false};
@@ -730,7 +735,8 @@ TEST(DeltaTsanEpochStamping, SnapshotVisibleMutationsAreNeverDroppedFromDeltas) 
     writers.emplace_back([&g, t, &stop] {
       std::mt19937_64 rng(0x51edull * (t + 1));
       std::uniform_int_distribution<vertex_t> pick(0, n - 1);
-      while (!stop.load(std::memory_order_relaxed))
+      for (int w = 0;
+           w < kWritesPerWriter && !stop.load(std::memory_order_relaxed); ++w)
         g.add_edge(pick(rng), pick(rng),
                    static_cast<weight_t>(1 + (pick(rng) % 7)));
     });

@@ -36,8 +36,12 @@ TEST(Build, CsrFromCooHasCorrectStructure) {
   EXPECT_TRUE(g::is_valid_csr(csr));
   EXPECT_EQ(csr.num_rows, 4);
   EXPECT_EQ(csr.num_edges(), 4);
-  EXPECT_EQ(csr.row_offsets, (std::vector<edge_t>{0, 2, 3, 4, 4}));
-  EXPECT_EQ(csr.column_indices, (std::vector<vertex_t>{1, 2, 3, 3}));
+  EXPECT_EQ(std::vector<edge_t>(csr.row_offsets.begin(),
+                                csr.row_offsets.end()),
+            (std::vector<edge_t>{0, 2, 3, 4, 4}));
+  EXPECT_EQ(std::vector<vertex_t>(csr.column_indices.begin(),
+                                  csr.column_indices.end()),
+            (std::vector<vertex_t>{1, 2, 3, 3}));
 }
 
 TEST(Build, CsrRejectsOutOfRangeIndices) {

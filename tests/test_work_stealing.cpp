@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -571,6 +572,143 @@ TEST(WorkStealing, RunBlockedMatchesCentralChunking) {
           << "n=" << n << " grain=" << grain;
     }
   }
+}
+
+// --- tiered (topology-aware) steal order -------------------------------------
+
+// The conservation storm, pinned to the tiered sweep: same-core, then
+// same-socket, then remote victims.  On flat hardware the tiers collapse,
+// but the sweep code path is still the one exercised.
+TEST(WorkStealing, TieredSubmitStormConservesEveryTask) {
+  constexpr int roots = 500;
+  constexpr int children_per_root = 7;
+  constexpr int total = roots * (1 + children_per_root);
+  p::thread_pool pool(8, p::queue_mode::stealing, p::steal_order::tiered);
+  ASSERT_EQ(pool.order(), p::steal_order::tiered);
+  std::vector<std::atomic<int>> hits(total);
+  for (int r = 0; r < roots; ++r)
+    pool.submit([&, r] {
+      hits[static_cast<std::size_t>(r)].fetch_add(1);
+      for (int c = 0; c < children_per_root; ++c) {
+        int const slot = roots + r * children_per_root + c;
+        pool.submit([&hits, slot] {
+          hits[static_cast<std::size_t>(slot)].fetch_add(1);
+        });
+      }
+    });
+  pool.wait_idle();
+  for (int i = 0; i < total; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+}
+
+TEST(WorkStealing, TieredRunBlockedFromWorkerReentrancy) {
+  p::thread_pool pool(4, p::queue_mode::stealing, p::steal_order::tiered);
+  constexpr int jobs = 16;
+  constexpr std::size_t n = 512;
+  std::vector<std::atomic<int>> hits(jobs * n);
+  std::atomic<int> jobs_done{0};
+  for (int j = 0; j < jobs; ++j)
+    pool.submit([&, j] {
+      pool.run_blocked(n, [&, j](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i == lo)
+            pool.run_blocked(4, [](std::size_t, std::size_t) {});
+          hits[static_cast<std::size_t>(j) * n + i].fetch_add(1);
+        }
+      });
+      jobs_done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(jobs_done.load(), jobs);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkStealing, TieredExternalLaneCallersDriveSuperstepsConcurrently) {
+  p::thread_pool pool(4, p::queue_mode::stealing, p::steal_order::tiered);
+  constexpr int callers = 4;
+  constexpr int rounds = 100;
+  constexpr std::size_t n = 777;
+  std::atomic<long long> grand_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < callers; ++t)
+    threads.emplace_back([&] {
+      pool.register_external_lane();
+      for (int r = 0; r < rounds; ++r) {
+        std::atomic<long long> local{0};
+        pool.run_blocked(n, [&local](std::size_t lo, std::size_t hi) {
+          local.fetch_add(static_cast<long long>(hi - lo));
+        });
+        ASSERT_EQ(local.load(), static_cast<long long>(n));
+        grand_total.fetch_add(local.load());
+      }
+    });
+  for (auto& t : threads)
+    t.join();
+  EXPECT_EQ(grand_total.load(),
+            static_cast<long long>(callers) * rounds * n);
+}
+
+TEST(WorkStealing, TieredChunkingMatchesFlatChunking) {
+  // The deterministic chunking contract holds across steal orders too —
+  // the basis of the NUMA-on == NUMA-off differential suite.
+  p::thread_pool tiered(3, p::queue_mode::stealing, p::steal_order::tiered);
+  p::thread_pool flat(3, p::queue_mode::stealing, p::steal_order::flat);
+  for (std::size_t n : {1u, 7u, 100u, 1777u, 65536u}) {
+    for (std::size_t grain : {1u, 16u, 256u}) {
+      ASSERT_EQ(tiered.bulk_step(n, grain), flat.bulk_step(n, grain));
+      auto collect = [n, grain](p::thread_pool& pool) {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        std::mutex m;
+        pool.run_blocked(
+            n,
+            [&](std::size_t lo, std::size_t hi) {
+              std::lock_guard<std::mutex> g(m);
+              chunks.emplace_back(lo, hi);
+            },
+            grain);
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+      };
+      ASSERT_EQ(collect(tiered), collect(flat))
+          << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+// --- steal-order seeding (ESSENTIALS_STEAL_SEED) -----------------------------
+
+TEST(WorkStealing, StealSeedIsReadPerCall) {
+  // Unset -> nullopt; set -> the parsed value; garbage -> nullopt.  Read
+  // per call (not cached) so a test can set it right before building the
+  // pool whose interleaving it wants to reproduce.
+  unsetenv("ESSENTIALS_STEAL_SEED");
+  EXPECT_FALSE(p::steal_seed().has_value());
+  setenv("ESSENTIALS_STEAL_SEED", "12345", 1);
+  ASSERT_TRUE(p::steal_seed().has_value());
+  EXPECT_EQ(*p::steal_seed(), 12345u);
+  setenv("ESSENTIALS_STEAL_SEED", "not-a-number", 1);
+  EXPECT_FALSE(p::steal_seed().has_value());
+  unsetenv("ESSENTIALS_STEAL_SEED");
+}
+
+TEST(WorkStealing, SeededPoolStillConservesTasks) {
+  // A fixed seed reproduces the victim sweep; conservation and results are
+  // unchanged — the knob only pins the interleaving.
+  setenv("ESSENTIALS_STEAL_SEED", "42", 1);
+  {
+    p::thread_pool pool(4, p::queue_mode::stealing, p::steal_order::tiered);
+    constexpr int total = 2000;
+    std::vector<std::atomic<int>> hits(total);
+    for (int i = 0; i < total; ++i)
+      pool.submit([&hits, i] {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+    pool.wait_idle();
+    for (int i = 0; i < total; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+  unsetenv("ESSENTIALS_STEAL_SEED");
 }
 
 TEST(WorkStealing, PoolChurnShutsDownCleanly) {
