@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file algorithms/relax.hpp
+/// \brief The SSSP family's single relaxation step, extracted once.
+///
+/// Every shortest-path variant in the framework is built from the same
+/// primitive — "does candidate distance d improve dist[v], and if so,
+/// commit it" — but until PR 8 each variant carried its own copy:
+/// `sssp.hpp` (push BSP + async queue), `sssp_delta.hpp` (light/heavy
+/// banded waves), `sssp_async_mp.hpp` (rank-local relax-and-forward), and
+/// the serial baselines.  The residual engine (src/residual/) adds a
+/// delta-accumulative instantiation of the very same step, so this header
+/// is now the single home; the variants differ only in *which array* they
+/// relax into and *what they do when the relaxation wins*.
+///
+/// Two memory models, deliberately separate:
+///  - `relax_value` / `relax` — atomic (CAS-loop min via atomic::min) for
+///    state shared across lanes.  Listing 4's contract: the pre-update
+///    value is returned so the caller can tell whether *its* relaxation
+///    won.
+///  - `relax_plain` — plain write for single-owner state (rank-local
+///    distance arrays in the message-passing variants, serial oracles).
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "parallel/atomics.hpp"
+
+namespace essentials::algorithms {
+
+/// Atomic relaxation: dist[v] = min(dist[v], candidate); returns the value
+/// observed immediately before this call's update took effect (Listing 4's
+/// contract: `candidate < relax_value(...)` iff this thread improved it).
+template <typename W>
+inline W relax_value(W* dist, std::size_t v, W candidate) {
+  return atomic::min(&dist[v], candidate);
+}
+
+/// Atomic relaxation, boolean flavour: true iff this call improved dist[v].
+template <typename W>
+inline bool relax(W* dist, std::size_t v, W candidate) {
+  return candidate < relax_value(dist, v, candidate);
+}
+
+/// Single-owner relaxation (no atomics): rank-local distances in the
+/// message-passing variants, serial baselines.  True iff improved.
+template <typename W>
+inline bool relax_plain(W* dist, std::size_t v, W candidate) {
+  if (candidate < dist[v]) {
+    dist[v] = candidate;
+    return true;
+  }
+  return false;
+}
+
+/// The Listing-4 edge condition, shared by `sssp` (push BSP) and the
+/// operator-matrix differential tests: snapshot the source distance with an
+/// atomic load (another lane may be improving dist[src] concurrently; a
+/// stale value only costs a re-relaxation, never correctness), relax the
+/// destination, keep the neighbor iff our relaxation won.
+template <typename W>
+inline auto make_relax_condition(W* dist) {
+  return [dist](auto const src, auto const dst, auto const /*edge*/,
+                W const weight) {
+    W const new_d = atomic::load(&dist[static_cast<std::size_t>(src)]) + weight;
+    return relax(dist, static_cast<std::size_t>(dst), new_d);
+  };
+}
+
+/// Weight-banded variant for delta-stepping: only edges with weight in
+/// [lo, hi) participate (light waves pass [0, Δ), the heavy pass [Δ, ∞)).
+template <typename W>
+inline auto make_banded_relax_condition(W* dist, W lo, W hi) {
+  return [dist, lo, hi](auto const src, auto const dst, auto const /*edge*/,
+                        W const weight) {
+    if (weight < lo || weight >= hi)
+      return false;
+    W const new_d = atomic::load(&dist[static_cast<std::size_t>(src)]) + weight;
+    return relax(dist, static_cast<std::size_t>(dst), new_d);
+  };
+}
+
+/// One asynchronous expansion: snapshot v's distance, relax every out-edge,
+/// and hand each *improved* neighbor to `emit` (queue push, residual
+/// injection, ...).  Shared by `sssp_async` and the residual engine's
+/// min-plus instantiation (src/residual/algebras.hpp) — the fourth copy
+/// this header exists to prevent.
+template <typename G, typename W, typename Emit>
+inline void relax_out_edges(G const& g, typename G::vertex_type v, W* dist,
+                            Emit&& emit) {
+  W const d_v = atomic::load(&dist[static_cast<std::size_t>(v)]);
+  if (d_v == infinity_v<W>)
+    return;
+  for (auto const e : g.get_edges(v)) {
+    auto const n = g.get_dest_vertex(e);
+    if (relax(dist, static_cast<std::size_t>(n), d_v + g.get_edge_weight(e)))
+      emit(n);
+  }
+}
+
+}  // namespace essentials::algorithms

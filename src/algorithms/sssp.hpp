@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "algorithms/relax.hpp"
 #include "core/enactor.hpp"
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
@@ -64,7 +65,6 @@ template <typename P, typename G>
 sssp_result<typename G::weight_type> sssp(P policy, G const& g,
                                           typename G::vertex_type source) {
   using V = typename G::vertex_type;
-  using E = typename G::edge_type;
   using W = typename G::weight_type;
   expects(source >= 0 && source < g.get_num_vertices(),
           "sssp: source out of range");
@@ -83,22 +83,11 @@ sssp_result<typename G::weight_type> sssp(P policy, G const& g,
       [&](frontier::sparse_frontier<V> in, std::size_t /*iteration*/) {
         // Expand the frontier with the user-defined condition for SSSP —
         // Listing 4's lambda: relax, and keep the neighbor iff our
-        // relaxation improved its distance.
-        auto out = operators::neighbors_expand(
-            policy, g, in,
-            [dist](V const src, V const dst, E const /*edge*/, W const weight) {
-              // The source read is an atomic load: another lane may be
-              // improving dist[src] concurrently via atomic::min on the
-              // same word, and a stale value only costs a re-relaxation
-              // (monotone convergence), never correctness — but the racing
-              // plain read would be UB and trips TSAN now that SSSP runs
-              // in the sanitizer matrix.
-              W const new_d = atomic::load(&dist[src]) + weight;
-              // atomic::min updates dist[dst] with the minimum of new_d and
-              // its current value, then returns the old value.
-              W const curr_d = atomic::min(&dist[dst], new_d);
-              return new_d < curr_d;
-            });
+        // relaxation improved its distance.  The atomic-load-source /
+        // atomic-min-destination contract lives in algorithms/relax.hpp,
+        // shared with delta-stepping and the residual engine.
+        auto out = operators::neighbors_expand(policy, g, in,
+                                               make_relax_condition(dist));
         if constexpr (std::decay_t<P>::is_parallel)
           operators::uniquify(policy, out,
                               static_cast<std::size_t>(g.get_num_vertices()));
@@ -153,12 +142,8 @@ sssp_result<typename G::weight_type> sssp_pull(
             [dist](V const src, V const dst, E const /*edge*/, W const weight) {
               if (dist[src] == infinity_v<W>)
                 return false;
-              W const new_d = dist[src] + weight;
-              if (new_d < dist[dst]) {
-                dist[dst] = new_d;
-                return true;
-              }
-              return false;
+              return relax_plain(dist, static_cast<std::size_t>(dst),
+                                 dist[src] + weight);
             });
       },
       enactor::frontier_empty{});
@@ -193,16 +178,10 @@ sssp_result<typename G::weight_type> sssp_async(
   frontier::async_queue_frontier<V> f;
   f.add_vertex(source);
   enactor::async_loop(f, workers, [&g, dist, &f](V const v) {
-    // Snapshot our current distance; a stale (larger) snapshot only causes
-    // a failed relaxation, never a wrong result.
-    W const d_v = atomic::load(&dist[v]);
-    for (auto const e : g.get_edges(v)) {
-      V const n = g.get_dest_vertex(e);
-      W const new_d = d_v + g.get_edge_weight(e);
-      W const curr_d = atomic::min(&dist[n], new_d);
-      if (new_d < curr_d)
-        f.add_vertex(n);
-    }
+    // Snapshot our current distance and relax every out-edge; a stale
+    // (larger) snapshot only causes a failed relaxation, never a wrong
+    // result.  Improved neighbors go straight back on the queue.
+    relax_out_edges(g, v, dist, [&f](V const n) { f.add_vertex(n); });
   });
   return result;
 }
@@ -279,10 +258,8 @@ sssp_result<typename G::weight_type> sssp_message_passing(
           W const new_d = d_v + g.get_edge_weight(e);
           int const dst_rank = owner(dst);
           if (dst_rank == rank) {
-            if (new_d < dist[static_cast<std::size_t>(dst)]) {
-              dist[static_cast<std::size_t>(dst)] = new_d;
+            if (relax_plain(dist.data(), static_cast<std::size_t>(dst), new_d))
               next.push_back(dst);
-            }
           } else {
             outgoing[static_cast<std::size_t>(dst_rank)].push_back(
                 pack(dst, new_d));
@@ -306,10 +283,8 @@ sssp_result<typename G::weight_type> sssp_message_passing(
         for (std::uint64_t const word : msg.payload) {
           V const v = unpack_vertex(word);
           W const d = unpack_weight(word);
-          if (d < dist[static_cast<std::size_t>(v)]) {
-            dist[static_cast<std::size_t>(v)] = d;
+          if (relax_plain(dist.data(), static_cast<std::size_t>(v), d))
             next.push_back(v);
-          }
         }
       }
       // Deduplicate the next active set (a vertex may improve many times in
@@ -383,10 +358,9 @@ sssp_result<typename G::weight_type> dijkstra(
     for (auto const e : g.get_edges(v)) {
       V const n = g.get_dest_vertex(e);
       W const new_d = d + g.get_edge_weight(e);
-      if (new_d < result.distances[static_cast<std::size_t>(n)]) {
-        result.distances[static_cast<std::size_t>(n)] = new_d;
+      if (relax_plain(result.distances.data(), static_cast<std::size_t>(n),
+                      new_d))
         heap.emplace(new_d, n);
-      }
     }
   }
   return result;
@@ -417,10 +391,9 @@ sssp_result<typename G::weight_type> bellman_ford(
       for (auto const e : g.get_edges(u)) {
         V const v = g.get_dest_vertex(e);
         W const new_d = d_u + g.get_edge_weight(e);
-        if (new_d < result.distances[static_cast<std::size_t>(v)]) {
-          result.distances[static_cast<std::size_t>(v)] = new_d;
+        if (relax_plain(result.distances.data(), static_cast<std::size_t>(v),
+                        new_d))
           changed = true;
-        }
       }
     }
     ++result.iterations;

@@ -23,6 +23,7 @@
 #include <limits>
 #include <vector>
 
+#include "algorithms/relax.hpp"
 #include "algorithms/sssp.hpp"
 #include "core/types.hpp"
 #include "mpsim/communicator.hpp"
@@ -83,8 +84,8 @@ sssp_result<typename G::weight_type> sssp_async_message_passing(
     bool stop = false;
 
     auto const enqueue_local = [&](V v, W d) {
-      if (d < dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] = d;
+      // Rank-local distances are single-owner — the plain relax flavour.
+      if (relax_plain(dist.data(), static_cast<std::size_t>(v), d)) {
         work.push_back(v);
         return true;
       }

@@ -19,12 +19,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "algorithms/relax.hpp"
+#include "algorithms/sssp.hpp"
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
 #include "core/operators/filter.hpp"
 #include "core/types.hpp"
-#include "algorithms/sssp.hpp"
 #include "parallel/atomics.hpp"
 
 namespace essentials::algorithms {
@@ -96,15 +97,13 @@ sssp_result<typename G::weight_type> sssp_delta_stepping(
       for (V const v : fresh.active())
         settled.add_vertex(v);
 
+      // Light band [0, Δ): heavy edges are handled after the bucket
+      // settles.  The shared banded condition also reads dist[src] with an
+      // atomic load — the plain read this pass carried before PR 8 raced
+      // the concurrent atomic::min on the same word.
       auto next = operators::neighbors_expand(
           policy, g, fresh,
-          [dist, delta](V const src, V const dst, E const /*e*/, W const w) {
-            if (w >= delta)
-              return false;  // heavy edges handled after the bucket settles
-            W const new_d = dist[src] + w;
-            W const curr_d = atomic::min(&dist[dst], new_d);
-            return new_d < curr_d;
-          });
+          make_banded_relax_condition(dist, W{0}, delta));
       if constexpr (std::decay_t<P>::is_parallel)
         operators::uniquify(policy, next, n);
       else
@@ -131,13 +130,7 @@ sssp_result<typename G::weight_type> sssp_delta_stepping(
       operators::uniquify(execution::seq, settled);
     auto heavy = operators::neighbors_expand(
         policy, g, settled,
-        [dist, delta](V const src, V const dst, E const /*e*/, W const w) {
-          if (w < delta)
-            return false;
-          W const new_d = dist[src] + w;
-          W const curr_d = atomic::min(&dist[dst], new_d);
-          return new_d < curr_d;
-        });
+        make_banded_relax_condition(dist, delta, infinity_v<W>));
     for (V const v : heavy.active())
       ensure_bucket(bucket_of(dist[static_cast<std::size_t>(v)]))
           .add_vertex(v);

@@ -56,6 +56,17 @@ class async_queue_frontier {
   /// Early-exit support for convergence conditions other than quiescence.
   void close() { queue_.close(); }
 
+  /// Reuse across runs: discard anything still queued (a closed or
+  /// early-exited previous run may have left items behind) and reopen the
+  /// queue.  Contract (PR 8 audit — the underlying close() used to be
+  /// terminal, making reuse impossible): callers must ensure the previous
+  /// run's *consumers* have finished popping (async_loop joins its workers,
+  /// so this holds on return), but do NOT need to quiesce producers — a
+  /// racing add_vertex lands in the old or new run, never wedges the
+  /// pending counter.  After clear(), size() == 0 and the frontier accepts
+  /// work exactly like a freshly constructed one.
+  void clear() { queue_.reset(); }
+
   parallel::mpmc_queue<T>& queue() noexcept { return queue_; }
 
  private:

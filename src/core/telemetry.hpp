@@ -66,7 +66,10 @@ inline constexpr bool compiled_in = (ESSENTIALS_TELEMETRY_ENABLED != 0);
 /// / delta_edges / supersteps_saved) for incremental delta-recompute jobs.
 /// v5 adds batch attribution (batch_id / batch_size / lane) for jobs fused
 /// into one lane-packed enactment by the engine's request batcher.
-inline constexpr int schema_version = 5;
+/// v6 adds residual-engine attribution (standing / residual_injections /
+/// residual_waves / residual_final) for standing queries re-converged
+/// in-place by the delta-accumulative priority engine (src/residual/).
+inline constexpr int schema_version = 6;
 
 // ---------------------------------------------------------------------------
 // Trace data model
@@ -170,6 +173,15 @@ struct trace {
   std::uint64_t batch_id = 0;   ///< id of the fused enactment wave
   std::uint32_t batch_size = 0; ///< members fused into the wave (0 == unbatched)
   std::uint32_t lane = 0;       ///< this job's lane within the wave
+  // Residual attribution (schema v6): filled by a standing query when an
+  // epoch publish was absorbed by in-place re-convergence (src/residual/)
+  // instead of a scheduled job.  Each priority wave is recorded as one
+  // superstep (frontier_in = wave size, metric = outstanding residual
+  // mass); `standing == false` elides the whole group.
+  bool standing = false;              ///< trace of a standing-query reconverge
+  std::uint64_t residual_injections = 0;  ///< shares injected for this epoch
+  std::uint64_t residual_waves = 0;   ///< priority waves to re-convergence
+  double residual_final = 0.0;        ///< residual mass when the run stopped
   std::vector<superstep_record> supersteps;
 
   std::size_t num_supersteps() const { return supersteps.size(); }
@@ -667,6 +679,12 @@ inline void write_json(trace const& t, std::ostream& os) {
   if (t.batch_size != 0) {
     os << ",\"batch_id\":" << t.batch_id
        << ",\"batch_size\":" << t.batch_size << ",\"lane\":" << t.lane;
+  }
+  if (t.standing) {
+    os << ",\"standing\":true"
+       << ",\"residual_injections\":" << t.residual_injections
+       << ",\"residual_waves\":" << t.residual_waves
+       << ",\"residual_final\":" << t.residual_final;
   }
   os << ",\"supersteps\":[";
   for (std::size_t i = 0; i < t.supersteps.size(); ++i) {

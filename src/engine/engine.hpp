@@ -33,16 +33,20 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "engine/batcher.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/stats.hpp"
+#include "residual/standing.hpp"
 
 namespace essentials::engine {
 
@@ -118,10 +122,25 @@ class analytics_engine {
     // warm-start seed instead of evicting it (result_cache.hpp).
     registry_.subscribe([this](std::string const& name, std::uint64_t) {
       cache_.invalidate_graph(name);
+      notify_standing(name);
     });
   }
 
-  ~analytics_engine() { scheduler_.shutdown(/*run_queued=*/false); }
+  ~analytics_engine() {
+    // Standing queries hold `&stats_` and may be mid-reconverge on the
+    // worker pool: stop them *before* any engine member destructs.  Their
+    // shutdown() detaches the stats pointer, so a user-held shared_ptr that
+    // outlives the engine stays safe (it just stops counting).
+    std::vector<std::weak_ptr<residual::standing_query_base<GraphT>>> held;
+    {
+      std::lock_guard<std::mutex> guard(standing_mutex_);
+      held.swap(standing_);
+    }
+    for (auto& weak : held)
+      if (auto q = weak.lock())
+        q->shutdown();
+    scheduler_.shutdown(/*run_queued=*/false);
+  }
 
   graph_registry<GraphT>& registry() { return registry_; }
   graph_registry<GraphT> const& registry() const { return registry_; }
@@ -344,12 +363,70 @@ class analytics_engine {
     return j;
   }
 
+  /// Register a standing query: a residual engine for `algebra` over graph
+  /// `name`, seeded by `seed`, converged immediately, and then kept
+  /// converged across every `registry().publish(name, ...)` — each publish
+  /// flows in as (snapshot, delta) and re-converges in time proportional to
+  /// the change (residual/standing.hpp).  `base` enables the exact epoch
+  /// rebase for sum algebras.  Returns null for an unknown graph.  The
+  /// engine holds only a weak reference: dropping the returned shared_ptr
+  /// deregisters the query.
+  template <typename A>
+  std::shared_ptr<residual::standing_query<GraphT, A>> submit_standing(
+      std::string const& name, A algebra,
+      typename residual::standing_query<GraphT, A>::seed_fn seed,
+      residual::standing_options opt = {},
+      typename residual::standing_query<GraphT, A>::base_fn base = {}) {
+    auto pinned = registry_.lookup(name);
+    if (!pinned)
+      return nullptr;
+    auto q = std::make_shared<residual::standing_query<GraphT, A>>(
+        name, std::move(pinned), std::move(algebra), std::move(seed), opt,
+        std::move(base), &stats_);
+    {
+      std::lock_guard<std::mutex> guard(standing_mutex_);
+      standing_.push_back(q);
+    }
+    stats_.on_standing_query();
+    return q;
+  }
+
  private:
+  /// Publish fan-out (runs on the publishing thread, post-swap, outside the
+  /// registry lock).  Dead weak_ptrs are pruned in passing; the (pin,
+  /// delta) pair is resolved here so threaded queries only enqueue.
+  void notify_standing(std::string const& name) {
+    std::vector<std::shared_ptr<residual::standing_query_base<GraphT>>> live;
+    {
+      std::lock_guard<std::mutex> guard(standing_mutex_);
+      auto it = standing_.begin();
+      while (it != standing_.end()) {
+        if (auto q = it->lock()) {
+          if (q->graph_name() == name)
+            live.push_back(std::move(q));
+          ++it;
+        } else {
+          it = standing_.erase(it);
+        }
+      }
+    }
+    for (auto const& q : live) {
+      auto pinned = registry_.lookup(name);
+      if (!pinned)
+        continue;
+      auto delta =
+          registry_.delta_between(name, q->base_epoch(), pinned.epoch);
+      q->on_publish(std::move(pinned), std::move(delta));
+    }
+  }
+
   bool const warm_starts_;
   engine_stats stats_;
   graph_registry<GraphT> registry_;
   result_cache cache_;
   job_scheduler scheduler_;
+  std::vector<std::weak_ptr<residual::standing_query_base<GraphT>>> standing_;
+  std::mutex standing_mutex_;
 };
 
 }  // namespace essentials::engine

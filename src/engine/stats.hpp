@@ -46,6 +46,13 @@ struct engine_stats_snapshot {
   std::uint64_t batches = 0;           ///< fused enactment waves launched
   std::uint64_t batched_jobs = 0;      ///< jobs served as lanes of a fused wave
   std::uint64_t edge_passes_saved = 0; ///< full traversals avoided by fusion
+  // v4 — residual engine (standing queries, src/residual/):
+  std::uint64_t standing_queries = 0;     ///< standing queries ever registered
+  std::uint64_t residual_injections = 0;  ///< residual shares injected on epoch publishes
+  std::uint64_t residual_reconverges = 0; ///< in-place re-convergences completed
+  std::uint64_t residual_fallbacks = 0;   ///< epoch updates forced to full re-init
+  std::uint64_t residual_edges_touched = 0;  ///< out-edges relaxed by reconverges
+  std::uint64_t residual_edges_cold_estimate = 0;  ///< edge passes a cold rerun would cost
   double queue_ms_total = 0.0;         ///< sum of per-job queue wait
   double run_ms_total = 0.0;           ///< sum of per-job run wall time
 
@@ -71,6 +78,15 @@ struct engine_stats_snapshot {
     return batches == 0 ? 0.0
                         : static_cast<double>(batched_jobs) /
                               static_cast<double>(batches);
+  }
+  /// Edge work of in-place re-convergence relative to cold reruns of the
+  /// same epochs (0.01 == the residual engine touched 1% of the edges a
+  /// cold rerun would have; 0 when no standing query ever re-converged).
+  double residual_pass_ratio() const {
+    return residual_edges_cold_estimate == 0
+               ? 0.0
+               : static_cast<double>(residual_edges_touched) /
+                     static_cast<double>(residual_edges_cold_estimate);
   }
 };
 
@@ -102,6 +118,20 @@ class engine_stats {
     batched_jobs_.fetch_add(members, relaxed);
     edge_passes_saved_.fetch_add(passes_saved, relaxed);
   }
+  void on_standing_query() { standing_queries_.fetch_add(1, relaxed); }
+  void on_residual_injection(std::size_t n) {
+    residual_injections_.fetch_add(n, relaxed);
+  }
+  /// One in-place re-convergence retired: it relaxed `edges_touched`
+  /// out-edges where a cold rerun of the same query would have spent an
+  /// estimated `edges_cold` (the residual engine's headline ratio).
+  void on_residual_reconverge(std::uint64_t edges_touched,
+                              std::uint64_t edges_cold) {
+    residual_reconverges_.fetch_add(1, relaxed);
+    residual_edges_touched_.fetch_add(edges_touched, relaxed);
+    residual_edges_cold_estimate_.fetch_add(edges_cold, relaxed);
+  }
+  void on_residual_fallback() { residual_fallbacks_.fetch_add(1, relaxed); }
   void add_queue_wait_ms(double ms) {
     queue_us_.fetch_add(to_us(ms), relaxed);
   }
@@ -126,6 +156,13 @@ class engine_stats {
     s.batches = batches_.load(relaxed);
     s.batched_jobs = batched_jobs_.load(relaxed);
     s.edge_passes_saved = edge_passes_saved_.load(relaxed);
+    s.standing_queries = standing_queries_.load(relaxed);
+    s.residual_injections = residual_injections_.load(relaxed);
+    s.residual_reconverges = residual_reconverges_.load(relaxed);
+    s.residual_fallbacks = residual_fallbacks_.load(relaxed);
+    s.residual_edges_touched = residual_edges_touched_.load(relaxed);
+    s.residual_edges_cold_estimate =
+        residual_edges_cold_estimate_.load(relaxed);
     s.queue_ms_total = static_cast<double>(queue_us_.load(relaxed)) / 1000.0;
     s.run_ms_total = static_cast<double>(run_us_.load(relaxed)) / 1000.0;
     return s;
@@ -154,6 +191,12 @@ class engine_stats {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_jobs_{0};
   std::atomic<std::uint64_t> edge_passes_saved_{0};
+  std::atomic<std::uint64_t> standing_queries_{0};
+  std::atomic<std::uint64_t> residual_injections_{0};
+  std::atomic<std::uint64_t> residual_reconverges_{0};
+  std::atomic<std::uint64_t> residual_fallbacks_{0};
+  std::atomic<std::uint64_t> residual_edges_touched_{0};
+  std::atomic<std::uint64_t> residual_edges_cold_estimate_{0};
   std::atomic<std::uint64_t> queue_us_{0};  // microseconds (atomic-friendly)
   std::atomic<std::uint64_t> run_us_{0};
 };
@@ -161,7 +204,11 @@ class engine_stats {
 /// Serialize a snapshot as a self-describing JSON object, schema-sistered
 /// to the telemetry export (docs/API.md, "Engine metrics").
 inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
-  os << "{\"engine_stats_version\":3"
+  // Schema history: v3 added batching counters; v4 adds the residual
+  // engine block (standing_queries .. residual_pass_ratio).  The golden
+  // test in tests/test_engine.cpp (EngineStatsSchema) pins every key —
+  // bumps must be deliberate.
+  os << "{\"engine_stats_version\":4"
      << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
      << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
      << ",\"cancelled\":" << s.cancelled
@@ -177,6 +224,13 @@ inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
      << ",\"batches\":" << s.batches
      << ",\"batched_jobs\":" << s.batched_jobs
      << ",\"edge_passes_saved\":" << s.edge_passes_saved
+     << ",\"standing_queries\":" << s.standing_queries
+     << ",\"residual_injections\":" << s.residual_injections
+     << ",\"residual_reconverges\":" << s.residual_reconverges
+     << ",\"residual_fallbacks\":" << s.residual_fallbacks
+     << ",\"residual_edges_touched\":" << s.residual_edges_touched
+     << ",\"residual_edges_cold_estimate\":" << s.residual_edges_cold_estimate
+     << ",\"residual_pass_ratio\":" << s.residual_pass_ratio()
      << ",\"avg_batch_size\":" << s.avg_batch_size()
      << ",\"hit_ratio\":" << s.hit_ratio()
      << ",\"warm_ratio\":" << s.warm_ratio()

@@ -41,6 +41,18 @@ namespace essentials::parallel {
 ///    not-yet-popped items back to the caller, who can account for them
 ///    (e.g. a scheduler marking queued jobs "cancelled" instead of silently
 ///    dropping them).
+///  - `reset()` reopens a closed (or merely dirty) queue for a fresh run:
+///    queued items are discarded with their pending slots released, then
+///    `closed_` is cleared.  In-flight consumers from the previous run may
+///    still call `done_processing()` afterwards — their slots were *not*
+///    discarded, so the counter stays exact.  A producer racing reset lands
+///    its push in either the old run (discarded) or the new one (kept);
+///    both are linearizations of "reset happened at some point".  The PR 8
+///    audit found the pre-reset state machine was terminal: `closed_` was
+///    sticky, so an async_queue_frontier could never be reused across
+///    epochs without reconstructing it (and re-running first-touch).
+///    Regression-tested under TSAN in tests/test_frontier.cpp, suite
+///    AsyncQueueFrontierReuse.
 template <typename T>
 class mpmc_queue {
  public:
@@ -158,6 +170,21 @@ class mpmc_queue {
     }
     not_empty_.notify_all();
     return remaining;
+  }
+
+  /// Reopen for a fresh run: discard queued items (releasing their pending
+  /// slots), clear the closed flag, and wake any pop blocked on the old
+  /// run's state.  See the shutdown/drain contract above for the exact
+  /// interleaving guarantees with concurrent producers and in-flight
+  /// consumers.
+  void reset() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      pending_ -= items_.size();
+      items_.clear();
+      closed_ = false;
+    }
+    not_empty_.notify_all();
   }
 
   /// True once close()/drain() was called.

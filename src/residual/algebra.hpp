@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file residual/algebra.hpp
+/// \brief The accumulator algebra — the contract that makes one residual
+/// engine serve SSSP, PageRank/PPR, and label spread.
+///
+/// Maiter's delta-accumulative model: each vertex carries `(value, delta)`
+/// where `delta` is the not-yet-applied residual.  Processing a vertex
+/// *claims* its delta (atomically swapping in the identity), folds it into
+/// the value with `combine`, and `propagate`s a share of the claimed delta
+/// into each out-neighbor's delta via `accumulate`.  Convergence is "every
+/// outstanding delta is negligible".  Two algebra families satisfy the
+/// contract:
+///
+///  - **min-lattices** (SSSP, BFS reachability): identity = ∞, combine =
+///    min, accumulate = atomic min.  Claimed deltas are *absorbed* — the
+///    share depends only on the new value (`new_value + weight`), so
+///    re-deliveries are idempotent and the fixed point is the unique
+///    lattice bottom (the bit-identity argument the incremental warm path
+///    already relies on).
+///  - **weighted sums** (PageRank, PPR, adsorption spread): identity = 0,
+///    combine = +, accumulate = atomic add.  The share is a linear
+///    function of the claimed delta (`damping·Δ/deg`), so total residual
+///    mass is conserved until it decays below ε.
+///
+/// The algebra is an *object*, not a traits class — PageRank carries its
+/// damping factor, PPR its teleport probability.  `residual_algebra`
+/// below pins the duck type; residual/algebras.hpp holds the
+/// instantiations and residual/state.hpp the engine that runs them.
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+
+namespace essentials::residual {
+
+namespace detail {
+
+// The engine's cross-location ordering argument (see residual/state.hpp:
+// producers accumulate-then-claim-flag, consumers clear-flag-then-drain)
+// needs a single total order over flag and delta operations, so every op
+// that participates is a seq_cst RMW — the acq_rel helpers in
+// parallel/atomics.hpp are not strong enough for the lost-wakeup proof.
+
+/// seq_cst fetch-min on a plain slot; returns the pre-update value.
+template <typename T>
+T fetch_min_seq(T* address, T value) {
+  std::atomic_ref<T> ref(*address);
+  T observed = ref.load(std::memory_order_seq_cst);
+  while (value < observed) {
+    if (ref.compare_exchange_weak(observed, value,
+                                  std::memory_order_seq_cst))
+      return observed;
+  }
+  return observed;
+}
+
+/// seq_cst fetch-add on a plain slot (CAS loop — works for double);
+/// returns the pre-update value.
+template <typename T>
+T fetch_add_seq(T* address, T value) {
+  std::atomic_ref<T> ref(*address);
+  T observed = ref.load(std::memory_order_seq_cst);
+  while (!ref.compare_exchange_weak(observed, observed + value,
+                                    std::memory_order_seq_cst)) {
+  }
+  return observed;
+}
+
+/// seq_cst exchange (the consumer's delta claim).
+template <typename T>
+T exchange_seq(T* address, T value) {
+  std::atomic_ref<T> ref(*address);
+  return ref.exchange(value, std::memory_order_seq_cst);
+}
+
+/// Producer side of the scheduling handshake: claim the queued flag
+/// (0 → 1).  True iff this caller now owes the vertex a staging.
+inline bool try_claim(unsigned char* flag) {
+  unsigned char expected = 0;
+  return std::atomic_ref<unsigned char>(*flag).compare_exchange_strong(
+      expected, 1, std::memory_order_seq_cst);
+}
+
+/// Consumer side: release the flag *before* draining the delta, so any
+/// producer whose accumulate lands after our drain finds the flag free
+/// and re-stages the vertex (the lost-wakeup argument in state.hpp).
+inline void clear_claim(unsigned char* flag) {
+  std::atomic_ref<unsigned char>(*flag).exchange(0,
+                                                 std::memory_order_seq_cst);
+}
+
+}  // namespace detail
+
+/// The duck type every residual algebra satisfies.  `W` is the graph's
+/// edge-weight type (shares may depend on it).
+template <typename A, typename W = float>
+concept residual_algebra = requires(A const a, typename A::value_type v,
+                                    typename A::value_type d,
+                                    typename A::value_type* slot, W w,
+                                    std::size_t n, double eps) {
+  typename A::value_type;
+  /// Neutral delta: claiming swaps it in; accumulating it is a no-op.
+  { a.identity() } -> std::convertible_to<typename A::value_type>;
+  /// Fold a claimed delta into the value.
+  { a.combine(v, d) } -> std::convertible_to<typename A::value_type>;
+  /// Atomically merge a share into a neighbour's delta slot; returns the
+  /// pre-update delta (the caller's staleness/improvement witness).
+  { a.accumulate(slot, d) } -> std::convertible_to<typename A::value_type>;
+  /// The share delivered along one out-edge after a claim produced
+  /// `new_value` from `d`, over an edge of weight `w` from a vertex of
+  /// out-degree `n`.
+  { a.propagate(d, v, w, n) } -> std::convertible_to<typename A::value_type>;
+  /// Scheduling priority of a vertex with this (value, pending-delta)
+  /// pair; larger = more urgent, <= 0 = not worth scheduling.
+  { a.magnitude(v, d) } -> std::convertible_to<double>;
+  /// Smallest magnitude worth staging when targeting total residual < eps
+  /// over n vertices (sum algebras: eps/(2n), so a drained scheduler
+  /// bounds the unscheduled mass by eps/2; min-lattices: 0 — every
+  /// improvement must eventually apply or the fixed point is wrong).
+  { a.schedule_floor(n, eps) } -> std::convertible_to<double>;
+  /// Residual mass this delta contributes to the striped counter (sum
+  /// algebras: |d|; min-lattices: 0 — their convergence is bucket drain).
+  { a.mass(d) } -> std::convertible_to<double>;
+  /// Min-lattices: stale/duplicate deliveries are absorbed, insert-only
+  /// graph deltas may be injected at the changed endpoints alone.
+  { std::bool_constant<A::monotone>{} };
+  /// True when mass() accounting is exact, enabling the `total < ε`
+  /// early-convergence stop.
+  { std::bool_constant<A::exact_mass>{} };
+};
+
+}  // namespace essentials::residual

@@ -1,0 +1,387 @@
+#pragma once
+
+/// \file residual/standing.hpp
+/// \brief Standing queries: residual engines kept converged across epoch
+/// publishes — the serving-layer payoff of the delta-accumulative model.
+///
+/// A standing query owns a `residual_state` for one (graph name, algebra)
+/// pair.  On registration it seeds and converges against the pinned
+/// snapshot (the one cold cost it ever pays).  From then on, every
+/// `graph_registry` publish of that name flows in as `(pinned snapshot,
+/// edge delta)` and is absorbed **in place**:
+///
+///   publish(name, dyn) ──► engine fan-out ──► on_publish(pin, delta)
+///        │                                         │
+///        │                      ┌──────────────────┴─────────────────┐
+///        │                      │ monotone + insert-only delta:      │
+///        │                      │   inject at changed endpoints only │
+///        │                      │ sum algebra + base vector:         │
+///        │                      │   exact one-edge-pass rebase       │
+///        │                      │ else: reset + reseed (fallback)    │
+///        │                      └──────────────────┬─────────────────┘
+///        │                                         ▼
+///        └── queries keep reading ...      reconverge(new snapshot)
+///            the previous values                   │
+///                                        publish values snapshot
+///
+/// No job is scheduled, no queue is entered, no cache row is written: the
+/// re-convergence cost is proportional to the residuals the delta injected
+/// — microseconds for small deltas (BENCH_residual.json) versus the warm
+/// path's full restart.
+///
+/// Threading: with `service_thread` (default) a dedicated runner absorbs
+/// publishes asynchronously — the publisher only enqueues — coalescing
+/// bursts of epochs into one re-convergence, and publishes an immutable
+/// values snapshot per processed epoch.  With `service_thread == false`
+/// the publisher (or test) thread applies updates inline and reads
+/// `values()` directly — the zero-copy mode the latency benchmark uses.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/telemetry.hpp"
+#include "engine/registry.hpp"
+#include "engine/stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "residual/algebras.hpp"
+#include "residual/state.hpp"
+
+namespace essentials::residual {
+
+struct standing_options {
+  residual_options residual;  ///< ε, bucket count, inline-wave threshold
+  /// Per-update re-convergence deadline (0 == unbounded).  An expired
+  /// update leaves staged residuals behind; the next update resumes them.
+  std::chrono::milliseconds reconverge_deadline{0};
+  /// Dedicated runner thread (asynchronous absorb + snapshot publish).
+  /// Off: `on_publish` applies inline on the publisher thread.
+  bool service_thread = true;
+  /// Record a schema-v6 standing trace per absorbed update (last_trace()).
+  bool record_trace = false;
+  /// Worker pool for large waves; null == parallel::default_pool().
+  parallel::thread_pool* pool = nullptr;
+};
+
+/// What one absorbed epoch cost (exposed via last_update()).
+struct standing_update_stats {
+  std::uint64_t epoch = 0;           ///< registry epoch absorbed
+  std::size_t injections = 0;        ///< residual shares injected
+  bool fallback = false;             ///< full re-init (no incremental path)
+  reconverge_stats reconverge;       ///< the wave loop's work counters
+};
+
+/// Type-erased face the engine holds (fan-out + shutdown), so
+/// `analytics_engine` needs no knowledge of algebras.
+template <typename GraphT>
+class standing_query_base {
+ public:
+  using delta_type = typename engine::graph_registry<GraphT>::delta_type;
+
+  virtual ~standing_query_base() = default;
+  virtual std::string const& graph_name() const = 0;
+  /// The registry epoch the values currently reflect (the fan-out asks
+  /// the registry for the delta from here to the fresh pin).
+  virtual std::uint64_t base_epoch() const = 0;
+  virtual void on_publish(engine::pinned_graph<GraphT> pin,
+                          delta_type delta) = 0;
+  /// Cooperative stop of any in-flight re-convergence.
+  virtual void cancel() = 0;
+  /// Terminal: cancel, join the runner, detach engine pointers.  Idempotent;
+  /// called by ~analytics_engine and by the query's own destructor.
+  virtual void shutdown() = 0;
+};
+
+template <typename GraphT, typename A>
+class standing_query final : public standing_query_base<GraphT> {
+ public:
+  using vertex_type = typename GraphT::vertex_type;
+  using value_type = typename A::value_type;
+  using state_type = residual_state<A, vertex_type>;
+  using delta_type = typename standing_query_base<GraphT>::delta_type;
+  /// Seeds (and re-seeds after a fallback reset) the state for a snapshot.
+  using seed_fn = std::function<void(state_type&, GraphT const&)>;
+  /// Sum algebras only: the base vector b of the fixed point x = b + D'x,
+  /// enabling the exact one-edge-pass epoch rebase (residual/algebras.hpp).
+  using base_fn = std::function<value_type(vertex_type)>;
+
+  standing_query(std::string name, engine::pinned_graph<GraphT> pin,
+                 A algebra, seed_fn seed, standing_options opt = {},
+                 base_fn base = {}, engine::engine_stats* stats = nullptr)
+      : name_(std::move(name)),
+        opt_(opt),
+        pool_(opt.pool ? opt.pool : &parallel::default_pool()),
+        seed_(std::move(seed)),
+        base_(std::move(base)),
+        stats_(stats),
+        pin_(std::move(pin)),
+        state_(std::make_unique<state_type>(
+            static_cast<std::size_t>(pin_.graph->get_num_vertices()), algebra,
+            opt.residual, *pool_)) {
+    expects(pin_.graph != nullptr,
+            "standing_query: registration requires a pinned snapshot");
+    seed_(*state_, *pin_.graph);
+    // The one cold convergence this query ever pays.  Not counted as a
+    // residual reconverge — the stats ratio compares *epoch absorption*
+    // against cold reruns.
+    state_->reconverge(*pin_.graph, stop_condition());
+    processed_epoch_.store(pin_.epoch, std::memory_order_release);
+    publish_snapshot();
+    if (opt_.service_thread)
+      runner_ = std::thread([this] { run(); });
+  }
+
+  ~standing_query() override { shutdown(); }
+
+  std::string const& graph_name() const override { return name_; }
+
+  std::uint64_t base_epoch() const override {
+    return processed_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Engine fan-out entry.  Runner mode: enqueue and return (publishers
+  /// never re-converge).  Inline mode: absorb on the calling thread.
+  void on_publish(engine::pinned_graph<GraphT> pin,
+                  delta_type delta) override {
+    if (opt_.service_thread) {
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (stopping_)
+          return;
+        pending_.push_back({std::move(pin), std::move(delta)});
+      }
+      cv_.notify_all();
+    } else {
+      apply_update(std::move(pin), std::move(delta));
+    }
+  }
+
+  void cancel() override { cancel_.request_cancel(); }
+
+  void shutdown() override {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (stopping_)
+        return;
+      stopping_ = true;
+    }
+    cancel_.request_cancel();
+    cv_.notify_all();
+    if (runner_.joinable())
+      runner_.join();
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_ = nullptr;  // the engine may die before a user-held query
+  }
+
+  // --- read side -----------------------------------------------------------
+
+  /// Inline mode: the converged values, zero-copy.  Runner mode: only safe
+  /// between your own wait_processed() and the next publish — prefer
+  /// snapshot().
+  std::vector<value_type> const& values() const { return state_->values(); }
+
+  /// Immutable values snapshot from the last processed epoch (runner mode's
+  /// read path: grab the shared_ptr, read without locks forever).
+  std::shared_ptr<std::vector<value_type> const> snapshot() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return snapshot_;
+  }
+
+  std::uint64_t processed_epoch() const { return base_epoch(); }
+
+  /// Block until every publish up to `epoch` has been absorbed (or the
+  /// query is shutting down).  Returns the epoch actually reached.
+  std::uint64_t wait_processed(std::uint64_t epoch) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return stopping_ ||
+             processed_epoch_.load(std::memory_order_acquire) >= epoch;
+    });
+    return processed_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Cost of the most recently absorbed epoch.
+  standing_update_stats last_update() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return last_update_;
+  }
+
+  /// Schema-v6 trace of the most recent absorb (record_trace only).
+  telemetry::trace last_trace() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return last_trace_;
+  }
+
+ private:
+  struct update_t {
+    engine::pinned_graph<GraphT> pin;
+    delta_type delta;
+  };
+
+  enactor::cancelled_or_deadline stop_condition() const {
+    enactor::cancelled_or_deadline stop;
+    stop.token = cancel_;
+    if (opt_.reconverge_deadline.count() > 0)
+      stop.budget = enactor::time_budget(opt_.reconverge_deadline);
+    return stop;
+  }
+
+  void run() {
+    pool_->register_external_lane();
+    for (;;) {
+      update_t next;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+        if (pending_.empty())
+          return;  // stopping and drained
+        // Coalesce a burst of publishes into one absorb: chain the deltas
+        // (complete only if every link is) and keep the newest pin.
+        next = std::move(pending_.front());
+        pending_.pop_front();
+        while (!pending_.empty()) {
+          auto& chained = pending_.front();
+          next.delta.records.insert(next.delta.records.end(),
+                                    chained.delta.records.begin(),
+                                    chained.delta.records.end());
+          next.delta.complete =
+              next.delta.complete && chained.delta.complete &&
+              chained.delta.from_epoch == next.delta.to_epoch;
+          next.delta.to_epoch = chained.delta.to_epoch;
+          next.pin = std::move(chained.pin);
+          pending_.pop_front();
+        }
+        if (stopping_ && cancel_.cancelled()) {
+          // Shutdown raced a queued update: drop it rather than starting a
+          // re-convergence we would immediately cancel.
+          return;
+        }
+      }
+      apply_update(std::move(next.pin), std::move(next.delta));
+    }
+  }
+
+  /// Absorb one (possibly coalesced) epoch transition.
+  void apply_update(engine::pinned_graph<GraphT> pin, delta_type delta) {
+    if (pin.epoch <= base_epoch())
+      return;  // duplicate fan-out (a newer absorb already covered it)
+    GraphT const& g = *pin.graph;
+    std::size_t const n = static_cast<std::size_t>(g.get_num_vertices());
+    bool const resized = n != state_->size();
+
+    standing_update_stats up;
+    up.epoch = pin.epoch;
+
+    telemetry::trace trace;
+    std::optional<telemetry::scoped_recording> recording;
+    if (opt_.record_trace)
+      recording.emplace(trace, "standing." + name_);
+
+    bool injected = false;
+    if (!resized) {
+      if constexpr (A::monotone) {
+        // Insert-only fast path: residuals at changed endpoints alone.
+        if (inject_monotone_delta(*state_, g, delta)) {
+          injected = true;
+          up.injections = delta.records.size();
+        }
+      } else {
+        // Sum algebras: the exact rebase absorbs *arbitrary* deltas
+        // (removals included) in one edge pass — no delta log needed, so
+        // even a broken chain stays incremental.
+        if (base_) {
+          rebase_sum(*state_, g, base_);
+          injected = true;
+          up.injections = n + static_cast<std::size_t>(g.get_num_edges());
+        }
+      }
+    }
+    if (!injected) {
+      // Fallback: removals/chain break for a min-lattice, a resize, or a
+      // sum algebra without a base vector — full re-init, still in place.
+      up.fallback = true;
+      if (resized)
+        state_ = std::make_unique<state_type>(n, state_->algebra(),
+                                              opt_.residual, *pool_);
+      else
+        state_->reset();
+      seed_(*state_, g);
+    }
+
+    up.reconverge = state_->reconverge(g, stop_condition());
+    pin_ = std::move(pin);
+
+    if (opt_.record_trace) {
+      recording.reset();
+      trace.standing = true;
+      trace.graph_epoch = up.epoch;
+      trace.residual_injections = up.injections;
+      trace.residual_waves = up.reconverge.waves;
+      trace.residual_final = state_->residual_mass();
+    }
+
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (stats_) {
+        stats_->on_residual_injection(up.injections);
+        if (up.fallback)
+          stats_->on_residual_fallback();
+        // Cold estimate: a rerun traverses at least one full edge pass of
+        // the new snapshot — a deliberately conservative floor (cold BSP
+        // enactments take several).
+        stats_->on_residual_reconverge(
+            up.reconverge.edges,
+            static_cast<std::uint64_t>(g.get_num_edges()));
+      }
+      last_update_ = up;
+      if (opt_.record_trace)
+        last_trace_ = std::move(trace);
+    }
+    processed_epoch_.store(up.epoch, std::memory_order_release);
+    publish_snapshot();
+    cv_.notify_all();
+  }
+
+  void publish_snapshot() {
+    if (!opt_.service_thread)
+      return;  // inline mode reads values() directly — keep tiny deltas O(Δ)
+    auto snap = std::make_shared<std::vector<value_type> const>(
+        state_->values());
+    std::lock_guard<std::mutex> guard(mutex_);
+    snapshot_ = std::move(snap);
+  }
+
+  std::string name_;
+  standing_options opt_;
+  parallel::thread_pool* pool_;
+  seed_fn seed_;
+  base_fn base_;
+  engine::engine_stats* stats_;
+  engine::pinned_graph<GraphT> pin_;
+  std::unique_ptr<state_type> state_;
+  enactor::cancel_token cancel_;
+  std::atomic<std::uint64_t> processed_epoch_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<update_t> pending_;
+  bool stopping_ = false;
+  std::shared_ptr<std::vector<value_type> const> snapshot_;
+  standing_update_stats last_update_;
+  telemetry::trace last_trace_;
+  std::thread runner_;
+};
+
+}  // namespace essentials::residual

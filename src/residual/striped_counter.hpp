@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file residual/striped_counter.hpp
+/// \brief Cache-line-striped residual mass counter — the convergence
+/// detector of the residual engine.
+///
+/// Every accumulate adds the injected share's mass to one stripe, every
+/// claim subtracts the mass it drained; the sum over stripes is the total
+/// outstanding residual, and `total < ε` is the engine's convergence
+/// condition for sum algebras (PageRank/PPR/label spread).  A single
+/// atomic<double> would serialize every relaxation of a hot run on one
+/// cache line; striping by lane id makes the add O(1) contention-free and
+/// moves the cost to the (rare, coordinator-only) `total()` scan — the
+/// same trade the work-stealing pool's completion latch makes.
+///
+/// The counter is *exact* for sum algebras (each unit of mass is added
+/// exactly once and subtracted exactly once) and merely a monitoring
+/// signal for min-lattices, whose algebras report zero mass — there,
+/// convergence is bucket drain (see residual/state.hpp).
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/lane_buffers.hpp"  // cache_line_size
+
+namespace essentials::residual {
+
+class striped_counter {
+ public:
+  explicit striped_counter(std::size_t stripes = 16)
+      : stripes_(stripes ? stripes : 1) {}
+
+  /// Add (possibly negative) mass to the stripe selected by `hint` —
+  /// callers pass their pool lane id so steady-state adds never collide.
+  void add(double mass, std::size_t hint) noexcept {
+    auto& slot = stripes_[hint % stripes_.size()].value;
+    double observed = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(observed, observed + mass,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Racy sum over stripes.  Exact once producers are quiescent (between
+  /// waves); a monitoring approximation while they run — both uses are
+  /// read-mostly, which is why add() can stay fully relaxed.
+  double total() const noexcept {
+    double sum = 0.0;
+    for (auto const& s : stripes_)
+      sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : stripes_)
+      s.value.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(parallel::cache_line_size) stripe_t {
+    std::atomic<double> value{0.0};
+  };
+  std::vector<stripe_t> stripes_;
+};
+
+}  // namespace essentials::residual

@@ -849,3 +849,66 @@ TEST(EngineDynamicSnapshot, QueriesDuringIngestAlwaysSeeConsistentEpochs) {
   ingest.join();
   EXPECT_EQ(engine.stats().failed, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Engine-stats JSON schema golden test
+// ---------------------------------------------------------------------------
+
+// Pins every key of the engine_stats export, in order.  The export is a
+// monitoring contract (docs/API.md "Engine metrics"): adding a field means
+// bumping engine_stats_version AND updating this list deliberately —
+// accidental schema drift fails here first.
+TEST(EngineStatsSchema, GoldenKeyListAndVersion) {
+  eng::engine_stats stats;
+  std::ostringstream os;
+  eng::write_json(stats.snapshot(), os);
+  std::string const json = os.str();
+
+  char const* const expected[] = {
+      // v1-v2 core lifecycle + cache:
+      "engine_stats_version", "submitted", "rejected", "completed", "failed",
+      "cancelled", "deadline_expired", "cache_hits", "cache_misses",
+      "cache_evictions", "cache_invalidations", "cache_demotions",
+      "warm_start_hits", "delta_fallbacks", "jobs_enacted",
+      // v3 batching:
+      "batches", "batched_jobs", "edge_passes_saved",
+      // v4 residual engine:
+      "standing_queries", "residual_injections", "residual_reconverges",
+      "residual_fallbacks", "residual_edges_touched",
+      "residual_edges_cold_estimate", "residual_pass_ratio",
+      // derived + totals:
+      "avg_batch_size", "hit_ratio", "warm_ratio", "queue_ms_total",
+      "run_ms_total",
+  };
+  std::size_t pos = 0;
+  for (char const* key : expected) {
+    auto const at = json.find("\"" + std::string(key) + "\":", pos);
+    ASSERT_NE(at, std::string::npos) << "missing or out-of-order key: " << key;
+    pos = at + 1;
+  }
+  EXPECT_NE(json.find("\"engine_stats_version\":4"), std::string::npos);
+
+  // Exactly the pinned keys — a new field must join the golden list.
+  std::size_t keys = 0;
+  for (std::size_t i = json.find("\":", 0); i != std::string::npos;
+       i = json.find("\":", i + 1))
+    ++keys;
+  EXPECT_EQ(keys, sizeof(expected) / sizeof(expected[0]));
+}
+
+TEST(EngineStatsSchema, ResidualCountersRollUp) {
+  eng::engine_stats stats;
+  stats.on_standing_query();
+  stats.on_residual_injection(3);
+  stats.on_residual_injection(2);
+  stats.on_residual_reconverge(/*edges_touched=*/10, /*edges_cold=*/1000);
+  stats.on_residual_fallback();
+  auto const s = stats.snapshot();
+  EXPECT_EQ(s.standing_queries, 1u);
+  EXPECT_EQ(s.residual_injections, 5u);
+  EXPECT_EQ(s.residual_reconverges, 1u);
+  EXPECT_EQ(s.residual_fallbacks, 1u);
+  EXPECT_EQ(s.residual_edges_touched, 10u);
+  EXPECT_EQ(s.residual_edges_cold_estimate, 1000u);
+  EXPECT_DOUBLE_EQ(s.residual_pass_ratio(), 0.01);
+}

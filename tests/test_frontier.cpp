@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "core/frontier/frontier.hpp"
 #include "mpsim/communicator.hpp"
@@ -235,6 +238,98 @@ TEST(AsyncQueueFrontier, CloseEndsEarly) {
   fr.close();
   vertex_t v;
   EXPECT_FALSE(fr.pop_vertex(v));
+}
+
+// --- reuse / shutdown-drain audit (PR 8) -----------------------------------
+// Separate suite name: these join the CI TSAN matrix.
+
+TEST(AsyncQueueFrontierReuse, ClearReopensAClosedQueue) {
+  f::async_queue_frontier<vertex_t> fr;
+  fr.add_vertex(1);
+  fr.close();
+  vertex_t v;
+  EXPECT_FALSE(fr.pop_vertex(v));  // closed: stale item unreachable
+
+  fr.clear();  // reopen + discard: the queue is a fresh frontier again
+  for (vertex_t i = 0; i < 5; ++i)
+    fr.add_vertex(i);
+  std::set<vertex_t> seen;
+  while (fr.pop_vertex(v)) {
+    seen.insert(v);
+    fr.finish_vertex();
+  }
+  EXPECT_EQ(seen, (std::set<vertex_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(fr.is_quiescent());
+}
+
+TEST(AsyncQueueFrontierReuse, ClearDiscardsStaleWorkExactly) {
+  f::async_queue_frontier<vertex_t> fr;
+  for (vertex_t i = 100; i < 110; ++i)
+    fr.add_vertex(i);  // a run that never consumed its work
+  fr.clear();
+  fr.add_vertex(7);
+  fr.add_vertex(8);
+  // Drain must yield exactly the post-clear items: no stale vertex, and no
+  // phantom pending count wedging the quiescence detector.
+  std::set<vertex_t> seen;
+  vertex_t v;
+  while (fr.pop_vertex(v)) {
+    seen.insert(v);
+    fr.finish_vertex();
+  }
+  EXPECT_EQ(seen, (std::set<vertex_t>{7, 8}));
+  EXPECT_TRUE(fr.is_quiescent());
+}
+
+TEST(AsyncQueueFrontierReuse, ReuseAfterDrainedRunYieldsOnlyNewWork) {
+  f::async_queue_frontier<vertex_t> fr;
+  fr.add_vertex(1);
+  vertex_t v;
+  while (fr.pop_vertex(v))
+    fr.finish_vertex();  // run 1 completes by quiescence, not close
+  fr.clear();            // no-op semantically, must still be safe
+  fr.add_vertex(42);
+  ASSERT_TRUE(fr.pop_vertex(v));
+  EXPECT_EQ(v, 42);
+  fr.finish_vertex();
+  EXPECT_TRUE(fr.is_quiescent());
+}
+
+TEST(AsyncQueueFrontierReuse, ProducerStormAcrossCloseClearCycles) {
+  // The audited contract: clear() requires the previous run's *consumers*
+  // to have finished popping, but producers may keep racing — a late
+  // add_vertex lands in the old or the new run, never wedges the queue.
+  // This is the TSAN regression for the shutdown-drain path.
+  f::async_queue_frontier<vertex_t> fr;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t)
+    producers.emplace_back([&] {
+      vertex_t i = 0;
+      while (!stop.load(std::memory_order_acquire))
+        fr.add_vertex(i++);
+    });
+
+  std::atomic<std::size_t> consumed{0};
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    fr.clear();  // consumers of the previous cycle joined below
+    auto consumer = [&] {
+      vertex_t v;
+      while (fr.pop_vertex(v)) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        fr.finish_vertex();
+      }
+    };
+    std::thread c1(consumer), c2(consumer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    fr.close();
+    c1.join();
+    c2.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : producers)
+    t.join();
+  EXPECT_GT(consumed.load(), 0u);
 }
 
 // --- concepts --------------------------------------------------------------------
