@@ -309,6 +309,16 @@ int main(int argc, char** argv) {
   measure("bulk", ex::par.with_frontier(ex::frontier_gen::bulk));
   measure("listing3", ex::par.with_frontier(ex::frontier_gen::listing3));
 
+  // Representation footprint: what the same graph costs as block-coded CSR
+  // (the storage tier the operators can run on directly) next to the plain
+  // 4-byte-id adjacency these timings used, plus the process resident set.
+  e::graph::compressed_graph<> const cg(graph().csr());
+  double const bytes_per_edge = cg.bytes_per_edge();
+  double const bytes_ratio =
+      static_cast<double>(cg.adjacency_bytes()) /
+      static_cast<double>(cg.uncompressed_adjacency_bytes());
+  std::size_t const rss = e::io::detail::process_resident_bytes();
+
   char const* const fpath = "BENCH_frontier.json";
   if (std::FILE* f = std::fopen(fpath, "w")) {
     std::fprintf(f,
@@ -327,11 +337,19 @@ int main(int argc, char** argv) {
                    r.name, r.edges_per_sec, r.edges, r.emits_scan,
                    r.emits_lock, i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"representation\": {\"plain_bytes_per_edge\": %zu, "
+                 "\"compressed_bytes_per_edge\": %.3f, \"bytes_ratio\": %.3f, "
+                 "\"resident_set_bytes\": %zu}\n}\n",
+                 sizeof(e::vertex_t), bytes_per_edge, bytes_ratio, rss);
     std::fclose(f);
     std::printf("bench: wrote %s\n", fpath);
     for (auto const& r : results)
       std::printf("  %-9s %12.0f edges/sec\n", r.name, r.edges_per_sec);
+    std::printf("  footprint: %.3f bytes/edge compressed (ratio %.3f), rss %.1f MiB\n",
+                bytes_per_edge, bytes_ratio,
+                static_cast<double>(rss) / (1024.0 * 1024.0));
   } else {
     std::fprintf(stderr, "failed to write %s\n", fpath);
     return 1;

@@ -157,6 +157,26 @@ int main() {
                      "locality-aware partition, same API", ok, ms});
   }
 
+  // --- Representation pillar --------------------------------------------------
+  // Not a Table I row in the paper, but the same claim shape: a storage
+  // representation (block-coded CSR, the out-of-core tier's format) slots
+  // in behind the unchanged operator API.  The mechanism label carries the
+  // measured footprint so the matrix doubles as the bytes-per-edge report.
+  {
+    static char mech[64];
+    auto [ok, ms] = timed([&] {
+      e::graph::compressed_graph<> const cg(g.csr());
+      std::snprintf(mech, sizeof(mech),
+                    "compressed CSR, same API (%.2f B/edge, rss %zu MiB)",
+                    cg.bytes_per_edge(),
+                    e::io::detail::process_resident_bytes() / (1024u * 1024u));
+      return near(e::algorithms::sssp(e::execution::par, cg, 0).distances,
+                  oracle);
+    });
+    cells.push_back(
+        {"Representation", "Compressed / Out-of-Core", mech, ok, ms});
+  }
+
   // --- print the matrix ---------------------------------------------------------
   std::printf("Table I coverage matrix (R-MAT scale=%d, %d vertices, %d "
               "edges; every cell verified against a serial oracle)\n\n",

@@ -57,6 +57,13 @@ struct engine_options {
   bool warm_starts = true;  ///< serve warm-start submissions incrementally
   bool batching = true;     ///< fuse compatible queued jobs at dequeue time
   std::size_t batch_window = 256;  ///< max members per fusion window
+  /// Registry storage tier: when `tier_spill_dir` is non-empty (or
+  /// `ESSENTIALS_OOC=1` is set in the environment) the registry demotes
+  /// cold epochs to block-coded spill files and pages them back on lookup.
+  /// `tier_budget_bytes` bounds resident snapshot bytes (0 == unlimited —
+  /// only explicit `registry().demote()` calls spill).
+  std::string tier_spill_dir = {};  ///< empty == tier off (unless env enables)
+  std::uint64_t tier_budget_bytes = 0;
 };
 
 /// Graph-typed half of the fusion contract (the type-erased half is
@@ -124,6 +131,17 @@ class analytics_engine {
       cache_.invalidate_graph(name);
       notify_standing(name);
     });
+    // Storage tier: explicit options win; otherwise the ESSENTIALS_OOC
+    // env knobs can switch it on without a code change (CONTRIBUTING.md).
+    registry_.set_stats(&stats_);
+    if constexpr (tier_spillable<GraphT>) {
+      if (!opt.tier_spill_dir.empty()) {
+        registry_.enable_tier(
+            tier_options{opt.tier_spill_dir, opt.tier_budget_bytes});
+      } else if (auto const env = tier_config_from_env(); env.enabled) {
+        registry_.enable_tier(env.options);
+      }
+    }
   }
 
   ~analytics_engine() {

@@ -31,10 +31,28 @@
 /// consumer falls back to a cold enactment.  Registry epochs are re-stamped
 /// onto carried deltas, so the chain speaks registry epochs, not the
 /// dynamic graph's internal ones.
+///
+/// Storage tier (PR 9): with `enable_tier`, the registry demotes *cold*
+/// epochs — least-recently-looked-up first, never one a reader currently
+/// pins — to the block-coded on-disk format (io/mapped.hpp) whenever the
+/// total resident footprint exceeds the configured budget, and
+/// transparently pages them back (rebuilding every view of GraphT from the
+/// decoded CSR) on the next lookup.  Spill IO always runs *outside* the
+/// registry lock: demotion keeps the epoch resident until its file is
+/// durably written, promotion loads into a local and installs only if the
+/// slot is still the same demoted epoch.  A spill file remains valid for
+/// its epoch after promotion, so re-demoting an unchanged epoch is free.
+/// Delta chains survive demotion untouched — warm starts resume after a
+/// promotion.  engine_stats v5 counts demotions/promotions and gauges
+/// resident/spilled bytes; demote/promote are telemetry-tagged
+/// ("tier.demote"/"tier.promote").
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -44,11 +62,56 @@
 #include <utility>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "core/types.hpp"
+#include "engine/stats.hpp"
+#include "graph/build.hpp"
 #include "graph/delta.hpp"
 #include "graph/dynamic.hpp"
+#include "io/mapped.hpp"
 
 namespace essentials::engine {
+
+/// Configuration for the registry's on-disk storage tier.
+struct tier_options {
+  std::string spill_dir = {};  ///< directory for spill files (created on enable)
+  /// Demote coldest epochs while resident snapshot bytes exceed this;
+  /// 0 == unlimited (only explicit `demote` calls spill).
+  std::uint64_t resident_budget_bytes = 0;
+};
+
+/// Environment-driven tier configuration (CONTRIBUTING.md knob table):
+/// `ESSENTIALS_OOC=1` enables the tier, `ESSENTIALS_OOC_DIR` overrides the
+/// spill directory, `ESSENTIALS_OOC_BUDGET_MB` sets the resident budget.
+struct tier_env_config {
+  bool enabled = false;
+  tier_options options;
+};
+inline tier_env_config tier_config_from_env() {
+  tier_env_config cfg;
+  char const* const on = std::getenv("ESSENTIALS_OOC");
+  cfg.enabled = on != nullptr && on[0] == '1';
+  if (char const* const dir = std::getenv("ESSENTIALS_OOC_DIR"))
+    cfg.options.spill_dir = dir;
+  else
+    cfg.options.spill_dir =
+        (std::filesystem::temp_directory_path() / "essentials-ooc").string();
+  if (char const* const mb = std::getenv("ESSENTIALS_OOC_BUDGET_MB"))
+    cfg.options.resident_budget_bytes =
+        static_cast<std::uint64_t>(std::strtoull(mb, nullptr, 10)) * 1024 *
+        1024;
+  return cfg;
+}
+
+/// A graph type the tier can spill: CSR-bearing (every other view is
+/// rebuilt from the CSR on promotion) with column ids the block codec can
+/// store.
+template <typename G>
+concept tier_spillable = requires(G const& g) {
+  requires G::has_csr;
+  g.csr();
+  requires sizeof(typename G::vertex_type) <= 4;
+};
 
 /// A pinned snapshot: the graph plus the epoch it belongs to.  Holding the
 /// shared_ptr keeps this epoch alive regardless of later publishes.
@@ -172,13 +235,30 @@ class graph_registry {
     return out;
   }
 
-  /// Pin the current epoch of `name`; empty pin when unknown.
+  /// Pin the current epoch of `name`; empty pin when unknown.  A demoted
+  /// epoch is paged back from its spill file first (the lookup blocks on
+  /// the load; concurrent lookups may load redundantly, the first install
+  /// wins) — callers never observe the tier except through latency.
   pinned_graph<GraphT> lookup(std::string const& name) const {
-    std::lock_guard<std::mutex> guard(mutex_);
-    auto const it = graphs_.find(name);
-    if (it == graphs_.end())
+    std::uint64_t demoted_epoch = 0;
+    std::string spill_path;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto const it = graphs_.find(name);
+      if (it == graphs_.end())
+        return {};
+      it->second.last_access = ++access_clock_;
+      if (it->second.graph != nullptr)
+        return {it->second.graph, it->second.epoch};
+      if (it->second.spill_path.empty())
+        return {};  // never happens for published names; defensive
+      demoted_epoch = it->second.epoch;
+      spill_path = it->second.spill_path;
+    }
+    if constexpr (tier_spillable<GraphT>)
+      return promote(name, demoted_epoch, spill_path);
+    else
       return {};
-    return {it->second.graph, it->second.epoch};
   }
 
   /// Current epoch of `name` (0 == never published).
@@ -189,10 +269,69 @@ class graph_registry {
   }
 
   /// Remove a graph (its epochs survive in readers' pins).  Returns
-  /// whether the name existed.
+  /// whether the name existed.  Any spill file is deleted.
   bool remove(std::string const& name) {
+    std::string stale;
+    bool erased = false;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto const it = graphs_.find(name);
+      if (it != graphs_.end()) {
+        release_accounting_locked(it->second);
+        stale = std::move(it->second.spill_path);
+        graphs_.erase(it);
+        erased = true;
+        push_gauges_locked();
+      }
+    }
+    remove_spill_file(stale);
+    return erased;
+  }
+
+  // --- storage tier ----------------------------------------------------------
+
+  /// Attach the engine's stats block (tier counters/gauges).  Call before
+  /// concurrent use.
+  void set_stats(engine_stats* stats) { stats_ = stats; }
+
+  /// Enable the on-disk tier: spill files live under `opt.spill_dir`
+  /// (created here), and publishes/demotions keep total resident snapshot
+  /// bytes at or under `opt.resident_budget_bytes` whenever unpinned cold
+  /// epochs make that possible.  Compile-time no-op for graph types the
+  /// tier cannot serialize (no CSR view).
+  void enable_tier(tier_options opt) {
+    static_assert(tier_spillable<GraphT>,
+                  "graph_registry tier requires a CSR-bearing graph type");
+    std::filesystem::create_directories(opt.spill_dir);
     std::lock_guard<std::mutex> guard(mutex_);
-    return graphs_.erase(name) != 0;
+    tier_ = std::move(opt);
+    tier_enabled_ = true;
+  }
+
+  bool tier_enabled() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return tier_enabled_;
+  }
+
+  /// Total bytes of resident (in-RAM) snapshots the registry itself holds.
+  std::uint64_t resident_bytes() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return resident_total_;
+  }
+  /// Total bytes of spill files currently on disk.
+  std::uint64_t spilled_bytes() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return spilled_total_;
+  }
+
+  /// Force-demote the current epoch of `name` to disk.  Returns true when
+  /// the epoch is on disk afterwards (including "already demoted"); false
+  /// for unknown names, pinned epochs, or a disabled tier.
+  bool demote(std::string const& name) {
+    if constexpr (tier_spillable<GraphT>)
+      return demote_impl(name);
+    else
+      return false;
   }
 
   /// Register a publish callback (the engine wires cache invalidation
@@ -219,16 +358,24 @@ class graph_registry {
 
  private:
   struct slot_t {
-    std::shared_ptr<GraphT const> graph;
+    std::shared_ptr<GraphT const> graph;  ///< null while demoted to disk
     std::uint64_t epoch = 0;
     /// Per-transition deltas, oldest first; deltas[i] covers registry
     /// epochs (to_epoch - 1, to_epoch].  Contiguity is an invariant: a
-    /// chain break clears the deque.
+    /// chain break clears the deque.  Demotion leaves the chain in place —
+    /// warm starts resume once the epoch is promoted back.
     std::deque<delta_type> deltas;
     /// Continuity tracking: which dynamic graph produced the current epoch
     /// (identity only — never dereferenced) and at which of *its* epochs.
     void const* delta_source = nullptr;
     std::uint64_t source_epoch = 0;
+    // Storage-tier bookkeeping.
+    std::uint64_t resident_bytes = 0;  ///< footprint charged while resident
+    std::uint64_t last_access = 0;     ///< LRU stamp (access_clock_ ticks)
+    std::string spill_path;            ///< on-disk copy of `spill_epoch`
+    std::uint64_t spill_epoch = 0;     ///< epoch the spill file serializes
+    std::uint64_t spill_bytes = 0;     ///< spill file size
+    bool spilling = false;             ///< a demotion write is in flight
   };
 
   pinned_graph<GraphT> publish_impl(std::string const& name,
@@ -239,6 +386,8 @@ class graph_registry {
     expects(g != nullptr, "graph_registry: cannot publish a null graph");
     pinned_graph<GraphT> pinned;
     std::vector<subscriber> subs;
+    std::string stale_spill;
+    bool over_budget = false;
     {
       std::lock_guard<std::mutex> guard(mutex_);
       auto& slot = graphs_[name];
@@ -246,8 +395,16 @@ class graph_registry {
           delta.has_value() && delta->complete && slot.epoch > 0 &&
           slot.delta_source == source && source != nullptr &&
           source_epoch == slot.source_epoch + 1;
+      release_accounting_locked(slot);
+      stale_spill = std::move(slot.spill_path);  // old epoch's file is stale
+      slot.spill_path.clear();
+      slot.spill_epoch = 0;
+      slot.spill_bytes = 0;
       slot.graph = std::move(g);
       slot.epoch += 1;
+      slot.resident_bytes = estimate_bytes(*slot.graph);
+      slot.last_access = ++access_clock_;
+      resident_total_ += slot.resident_bytes;
       if (continuous) {
         delta->from_epoch = slot.epoch - 1;  // re-stamp in registry epochs
         delta->to_epoch = slot.epoch;
@@ -261,15 +418,282 @@ class graph_registry {
       slot.source_epoch = source_epoch;
       pinned = {slot.graph, slot.epoch};
       subs = subscribers_;  // snapshot: callbacks run outside the lock
+      push_gauges_locked();
+      over_budget = tier_enabled_ && tier_.resident_budget_bytes > 0 &&
+                    resident_total_ > tier_.resident_budget_bytes;
     }
+    remove_spill_file(stale_spill);
+    if (over_budget)
+      enforce_budget();
     for (auto const& s : subs)
       s(name, pinned.epoch);
     return pinned;
   }
 
+  // --- tier internals --------------------------------------------------------
+  //
+  // Locking discipline: every file read/write happens with the registry
+  // lock RELEASED; the lock is retaken afterwards and the slot's epoch is
+  // re-checked before any state is installed.  A republish racing a
+  // demotion/promotion simply invalidates the in-flight IO (the loser
+  // deletes/discards its work).
+
+  /// Registry's own footprint estimate of a snapshot: the raw bytes of
+  /// every view GraphT carries.
+  static std::uint64_t estimate_bytes(GraphT const& g) {
+    std::uint64_t b = 0;
+    using V = typename GraphT::vertex_type;
+    using E = typename GraphT::edge_type;
+    using W = typename GraphT::weight_type;
+    if constexpr (GraphT::has_csr) {
+      auto const& c = g.csr();
+      b += c.row_offsets.size() * sizeof(E) +
+           c.column_indices.size() * (sizeof(V) + sizeof(W));
+    }
+    if constexpr (GraphT::has_csc) {
+      auto const& c = g.csc();
+      b += c.column_offsets.size() * sizeof(E) +
+           c.row_indices.size() * (sizeof(V) + sizeof(W));
+    }
+    if constexpr (GraphT::has_coo) {
+      auto const& c = g.coo();
+      b += c.row_indices.size() * (2 * sizeof(V) + sizeof(W));
+    }
+    return b;
+  }
+
+  /// Drop a slot's contribution from both accounting totals (caller holds
+  /// the lock and is about to overwrite/erase the slot).
+  void release_accounting_locked(slot_t& slot) {
+    if (slot.graph != nullptr)
+      resident_total_ -= slot.resident_bytes;
+    if (!slot.spill_path.empty())
+      spilled_total_ -= slot.spill_bytes;
+  }
+
+  void push_gauges_locked() const {
+    if (stats_ != nullptr) {
+      stats_->set_tier_resident_bytes(resident_total_);
+      stats_->set_tier_spilled_bytes(spilled_total_);
+    }
+  }
+
+  static void remove_spill_file(std::string const& path) {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);  // best-effort
+    }
+  }
+
+  std::string spill_path_for(std::string const& name,
+                             std::uint64_t epoch) const {
+    // Lock held.  Name goes through a hash: spill files must not depend on
+    // names being filesystem-safe.
+    auto const h = std::hash<std::string>{}(name);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "g%016zx-i%llu-e%llu.blk",
+                  static_cast<std::size_t>(h),
+                  static_cast<unsigned long long>(instance_),
+                  static_cast<unsigned long long>(epoch));
+    return (std::filesystem::path(tier_.spill_dir) / buf).string();
+  }
+
+  /// Rebuild a full GraphT from a decoded CSR: CSC by transposition, COO
+  /// by expanding row offsets (canonical order is preserved, so all views
+  /// agree exactly as they did at publish time).
+  static GraphT rehydrate(
+      graph::csr_t<typename GraphT::vertex_type, typename GraphT::edge_type,
+                   typename GraphT::weight_type>
+          csr) {
+    using V = typename GraphT::vertex_type;
+    using E = typename GraphT::edge_type;
+    using W = typename GraphT::weight_type;
+    GraphT g;
+    if constexpr (GraphT::has_csc)
+      g.set_csc(graph::transpose_to_csc(csr));
+    if constexpr (GraphT::has_coo) {
+      graph::coo_t<V, E, W> coo;
+      coo.num_rows = csr.num_rows;
+      coo.num_cols = csr.num_cols;
+      std::size_t const m = csr.column_indices.size();
+      coo.row_indices.resize(m);
+      coo.column_indices.assign(csr.column_indices.begin(),
+                                csr.column_indices.end());
+      coo.values.assign(csr.values.begin(), csr.values.end());
+      for (V v = 0; v < csr.num_rows; ++v)
+        for (std::size_t e = static_cast<std::size_t>(
+                 csr.row_offsets[static_cast<std::size_t>(v)]);
+             e < static_cast<std::size_t>(
+                     csr.row_offsets[static_cast<std::size_t>(v) + 1]);
+             ++e)
+          coo.row_indices[e] = v;
+      g.set_coo(std::move(coo));
+    }
+    g.set_csr(std::move(csr));
+    return g;
+  }
+
+  /// Page a demoted epoch back in.  Loads outside the lock; installs only
+  /// if the slot still holds the same demoted epoch.
+  pinned_graph<GraphT> promote(std::string const& name, std::uint64_t epoch,
+                               std::string const& path) const
+    requires tier_spillable<GraphT>
+  {
+    using V = typename GraphT::vertex_type;
+    using E = typename GraphT::edge_type;
+    using W = typename GraphT::weight_type;
+    std::shared_ptr<GraphT const> loaded;
+    {
+      io::mapped_graph<V, E, W> mg(path);
+      telemetry::op_probe probe("tier.promote", mg.file_bytes(), 0, 0, 0,
+                                false);
+      loaded = std::make_shared<GraphT const>(rehydrate(mg.to_csr()));
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto const it = graphs_.find(name);
+    if (it == graphs_.end())
+      return {};  // removed while loading
+    slot_t& slot = it->second;
+    if (slot.graph != nullptr || slot.epoch != epoch)
+      return {slot.graph, slot.epoch};  // republished or promoted by a peer
+    slot.graph = loaded;
+    slot.resident_bytes = estimate_bytes(*loaded);
+    slot.last_access = ++access_clock_;
+    resident_total_ += slot.resident_bytes;
+    // The spill file stays valid for this epoch: a later re-demotion of an
+    // unchanged epoch drops the pointer without rewriting the file.
+    if (stats_ != nullptr)
+      stats_->on_tier_promotion();
+    push_gauges_locked();
+    return {slot.graph, slot.epoch};
+  }
+
+  bool demote_impl(std::string const& name)
+    requires tier_spillable<GraphT>
+  {
+    std::shared_ptr<GraphT const> pin;
+    std::uint64_t epoch = 0;
+    std::string path;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (!tier_enabled_)
+        return false;
+      auto const it = graphs_.find(name);
+      if (it == graphs_.end())
+        return false;
+      slot_t& slot = it->second;
+      if (slot.graph == nullptr)
+        return !slot.spill_path.empty();  // already on disk
+      if (slot.spilling)
+        return false;  // another demotion owns this slot's IO
+      if (!slot.spill_path.empty() && slot.spill_epoch == slot.epoch) {
+        // Fast path: the epoch is already durably on disk from a previous
+        // demote/promote cycle — just drop the resident copy.
+        if (slot.graph.use_count() > 1)
+          return false;  // pinned by a reader: not cold, keep it
+        resident_total_ -= slot.resident_bytes;
+        slot.graph.reset();
+        if (stats_ != nullptr)
+          stats_->on_tier_demotion();
+        push_gauges_locked();
+        return true;
+      }
+      if (slot.graph.use_count() > 1)
+        return false;  // pinned by a reader: not cold, keep it
+      pin = slot.graph;  // keep the epoch alive (and resident) during IO
+      epoch = slot.epoch;
+      path = spill_path_for(name, epoch);
+      slot.spilling = true;
+    }
+    bool wrote = false;
+    std::uint64_t file_bytes = 0;
+    try {
+      telemetry::op_probe probe("tier.demote", pin->csr().column_indices.size(),
+                                0, 0, 0, false);
+      io::write_mapped_graph(path, pin->csr());
+      std::error_code ec;
+      auto const sz = std::filesystem::file_size(path, ec);
+      file_bytes = ec ? 0 : static_cast<std::uint64_t>(sz);
+      wrote = true;
+    } catch (...) {
+      remove_spill_file(path);
+    }
+    bool demoted = false;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto const it = graphs_.find(name);
+      if (it != graphs_.end()) {
+        slot_t& slot = it->second;
+        slot.spilling = false;
+        if (wrote && slot.epoch == epoch && slot.graph == pin) {
+          slot.spill_path = path;
+          slot.spill_epoch = epoch;
+          slot.spill_bytes = file_bytes;
+          spilled_total_ += file_bytes;
+          // Drop the resident copy only if still unpinned (the registry's
+          // reference + our local `pin` = 2).
+          if (slot.graph.use_count() <= 2) {
+            resident_total_ -= slot.resident_bytes;
+            slot.graph.reset();
+            demoted = true;
+            if (stats_ != nullptr)
+              stats_->on_tier_demotion();
+          }
+          push_gauges_locked();
+          wrote = false;  // file adopted by the slot
+        }
+      } else if (wrote) {
+        wrote = true;  // name vanished: file is orphaned, delete below
+      }
+    }
+    if (wrote)
+      remove_spill_file(path);
+    return demoted;
+  }
+
+  /// Demote least-recently-used unpinned epochs until resident bytes fit
+  /// the budget (or nothing cold remains).
+  void enforce_budget() {
+    if constexpr (tier_spillable<GraphT>) {
+      for (;;) {
+        std::string victim;
+        {
+          std::lock_guard<std::mutex> guard(mutex_);
+          if (!tier_enabled_ || tier_.resident_budget_bytes == 0 ||
+              resident_total_ <= tier_.resident_budget_bytes)
+            return;
+          std::uint64_t best = ~0ull;
+          for (auto& [n, slot] : graphs_) {
+            if (slot.graph == nullptr || slot.spilling ||
+                slot.graph.use_count() > 1)
+              continue;  // demoted already, in flight, or pinned
+            if (slot.last_access < best) {
+              best = slot.last_access;
+              victim = n;
+            }
+          }
+          if (victim.empty())
+            return;  // everything resident is pinned/hot: budget is advisory
+        }
+        if (!demote_impl(victim))
+          return;  // raced a reader pin: stop rather than spin
+      }
+    }
+  }
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, slot_t> graphs_;
+  mutable std::unordered_map<std::string, slot_t> graphs_;
   std::vector<subscriber> subscribers_;
+  // Tier state.  graphs_/totals are mutated under mutex_ from const
+  // lookups (LRU stamps, promotion installs) — logically const: the
+  // name -> current-epoch mapping callers observe never changes.
+  engine_stats* stats_ = nullptr;
+  tier_options tier_;
+  bool tier_enabled_ = false;
+  std::uint64_t const instance_ = graph::blockcodec::next_cookie();
+  mutable std::uint64_t access_clock_ = 0;
+  mutable std::uint64_t resident_total_ = 0;
+  mutable std::uint64_t spilled_total_ = 0;
 };
 
 }  // namespace essentials::engine

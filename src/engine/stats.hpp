@@ -53,6 +53,11 @@ struct engine_stats_snapshot {
   std::uint64_t residual_fallbacks = 0;   ///< epoch updates forced to full re-init
   std::uint64_t residual_edges_touched = 0;  ///< out-edges relaxed by reconverges
   std::uint64_t residual_edges_cold_estimate = 0;  ///< edge passes a cold rerun would cost
+  // v5 — registry storage tier (compressed + out-of-core graphs):
+  std::uint64_t tier_demotions = 0;   ///< cold epochs spilled to the disk tier
+  std::uint64_t tier_promotions = 0;  ///< demoted epochs paged back on lookup
+  std::uint64_t tier_resident_bytes = 0;  ///< bytes of snapshots held in RAM (gauge)
+  std::uint64_t tier_spilled_bytes = 0;   ///< bytes of snapshots on disk (gauge)
   double queue_ms_total = 0.0;         ///< sum of per-job queue wait
   double run_ms_total = 0.0;           ///< sum of per-job run wall time
 
@@ -132,6 +137,16 @@ class engine_stats {
     residual_edges_cold_estimate_.fetch_add(edges_cold, relaxed);
   }
   void on_residual_fallback() { residual_fallbacks_.fetch_add(1, relaxed); }
+  void on_tier_demotion() { tier_demotions_.fetch_add(1, relaxed); }
+  void on_tier_promotion() { tier_promotions_.fetch_add(1, relaxed); }
+  /// Gauges, not counters: the registry reports its current accounting
+  /// after every tier transition (publish/demote/promote/remove).
+  void set_tier_resident_bytes(std::uint64_t bytes) {
+    tier_resident_bytes_.store(bytes, relaxed);
+  }
+  void set_tier_spilled_bytes(std::uint64_t bytes) {
+    tier_spilled_bytes_.store(bytes, relaxed);
+  }
   void add_queue_wait_ms(double ms) {
     queue_us_.fetch_add(to_us(ms), relaxed);
   }
@@ -163,6 +178,10 @@ class engine_stats {
     s.residual_edges_touched = residual_edges_touched_.load(relaxed);
     s.residual_edges_cold_estimate =
         residual_edges_cold_estimate_.load(relaxed);
+    s.tier_demotions = tier_demotions_.load(relaxed);
+    s.tier_promotions = tier_promotions_.load(relaxed);
+    s.tier_resident_bytes = tier_resident_bytes_.load(relaxed);
+    s.tier_spilled_bytes = tier_spilled_bytes_.load(relaxed);
     s.queue_ms_total = static_cast<double>(queue_us_.load(relaxed)) / 1000.0;
     s.run_ms_total = static_cast<double>(run_us_.load(relaxed)) / 1000.0;
     return s;
@@ -197,6 +216,10 @@ class engine_stats {
   std::atomic<std::uint64_t> residual_fallbacks_{0};
   std::atomic<std::uint64_t> residual_edges_touched_{0};
   std::atomic<std::uint64_t> residual_edges_cold_estimate_{0};
+  std::atomic<std::uint64_t> tier_demotions_{0};
+  std::atomic<std::uint64_t> tier_promotions_{0};
+  std::atomic<std::uint64_t> tier_resident_bytes_{0};
+  std::atomic<std::uint64_t> tier_spilled_bytes_{0};
   std::atomic<std::uint64_t> queue_us_{0};  // microseconds (atomic-friendly)
   std::atomic<std::uint64_t> run_us_{0};
 };
@@ -204,11 +227,12 @@ class engine_stats {
 /// Serialize a snapshot as a self-describing JSON object, schema-sistered
 /// to the telemetry export (docs/API.md, "Engine metrics").
 inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
-  // Schema history: v3 added batching counters; v4 adds the residual
-  // engine block (standing_queries .. residual_pass_ratio).  The golden
-  // test in tests/test_engine.cpp (EngineStatsSchema) pins every key —
-  // bumps must be deliberate.
-  os << "{\"engine_stats_version\":4"
+  // Schema history: v3 added batching counters; v4 added the residual
+  // engine block (standing_queries .. residual_pass_ratio); v5 adds the
+  // registry storage-tier block (tier_demotions .. tier_spilled_bytes).
+  // The golden test in tests/test_engine.cpp (EngineStatsSchema) pins
+  // every key — bumps must be deliberate.
+  os << "{\"engine_stats_version\":5"
      << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
      << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
      << ",\"cancelled\":" << s.cancelled
@@ -230,6 +254,10 @@ inline void write_json(engine_stats_snapshot const& s, std::ostream& os) {
      << ",\"residual_fallbacks\":" << s.residual_fallbacks
      << ",\"residual_edges_touched\":" << s.residual_edges_touched
      << ",\"residual_edges_cold_estimate\":" << s.residual_edges_cold_estimate
+     << ",\"tier_demotions\":" << s.tier_demotions
+     << ",\"tier_promotions\":" << s.tier_promotions
+     << ",\"tier_resident_bytes\":" << s.tier_resident_bytes
+     << ",\"tier_spilled_bytes\":" << s.tier_spilled_bytes
      << ",\"residual_pass_ratio\":" << s.residual_pass_ratio()
      << ",\"avg_batch_size\":" << s.avg_batch_size()
      << ",\"hit_ratio\":" << s.hit_ratio()

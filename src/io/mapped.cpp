@@ -1,0 +1,175 @@
+#include "io/mapped.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "core/types.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ESSENTIALS_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ESSENTIALS_HAS_MMAP 0
+#endif
+
+namespace essentials::io::detail {
+
+std::size_t page_size() noexcept {
+#if ESSENTIALS_HAS_MMAP
+  long const p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096;
+#else
+  return 4096;
+#endif
+}
+
+file_mapping map_readonly(std::string const& path) {
+  file_mapping m;
+#if ESSENTIALS_HAS_MMAP
+  int const fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw graph_error("mapped_graph: cannot open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw graph_error("mapped_graph: cannot stat '" + path + "'");
+  }
+  m.length = static_cast<std::size_t>(st.st_size);
+  if (m.length == 0) {
+    ::close(fd);
+    throw graph_error("mapped_graph: empty file '" + path + "'");
+  }
+  void* const addr = ::mmap(nullptr, m.length, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    ::close(fd);
+    throw graph_error("mapped_graph: mmap failed for '" + path + "'");
+  }
+  m.addr = addr;
+  m.fd = fd;
+  m.heap = false;
+#else
+  // Portable fallback: read the whole file into heap memory.  Loses
+  // demand paging but keeps the format and API working everywhere.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    throw graph_error("mapped_graph: cannot open '" + path + "'");
+  auto const size = static_cast<std::size_t>(in.tellg());
+  if (size == 0)
+    throw graph_error("mapped_graph: empty file '" + path + "'");
+  in.seekg(0);
+  auto* buf = new std::uint8_t[size];
+  in.read(reinterpret_cast<char*>(buf), static_cast<std::streamsize>(size));
+  if (!in) {
+    delete[] buf;
+    throw graph_error("mapped_graph: short read from '" + path + "'");
+  }
+  m.addr = buf;
+  m.length = size;
+  m.fd = -1;
+  m.heap = true;
+#endif
+  return m;
+}
+
+void unmap(file_mapping& m) noexcept {
+  if (m.addr == nullptr) {
+    m = file_mapping{};
+    return;
+  }
+#if ESSENTIALS_HAS_MMAP
+  if (!m.heap) {
+    ::munmap(m.addr, m.length);
+    if (m.fd >= 0)
+      ::close(m.fd);
+    m = file_mapping{};
+    return;
+  }
+#endif
+  delete[] static_cast<std::uint8_t*>(m.addr);
+  m = file_mapping{};
+}
+
+void advise(file_mapping const& m, std::size_t offset, std::size_t length,
+            [[maybe_unused]] advice a) noexcept {
+#if ESSENTIALS_HAS_MMAP
+  if (m.addr == nullptr || m.heap || length == 0 || offset >= m.length)
+    return;
+  length = std::min(length, m.length - offset);
+  // madvise wants page-aligned addresses: widen to page boundaries.
+  std::size_t const page = page_size();
+  std::size_t const lo = offset / page * page;
+  std::size_t const hi = (offset + length + page - 1) / page * page;
+  int native = MADV_NORMAL;
+  switch (a) {
+    case advice::normal: native = MADV_NORMAL; break;
+    case advice::sequential: native = MADV_SEQUENTIAL; break;
+    case advice::random: native = MADV_RANDOM; break;
+    case advice::willneed: native = MADV_WILLNEED; break;
+    case advice::dontneed: native = MADV_DONTNEED; break;
+  }
+  ::madvise(static_cast<std::uint8_t*>(m.addr) + lo,
+            std::min(hi, m.length) - lo, native);
+#else
+  (void)m;
+  (void)offset;
+  (void)length;
+#endif
+}
+
+std::size_t process_resident_bytes() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr)
+    return 0;
+  unsigned long total = 0, resident = 0;
+  int const got = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (got != 2)
+    return 0;
+  return static_cast<std::size_t>(resident) * page_size();
+#else
+  return 0;
+#endif
+}
+
+namespace {
+void pad_to_page(std::ofstream& out) {
+  static char const zeros[kMappedPage] = {};
+  auto const pos = static_cast<std::uint64_t>(out.tellp());
+  std::uint64_t const pad =
+      (kMappedPage - pos % kMappedPage) % kMappedPage;
+  out.write(zeros, static_cast<std::streamsize>(pad));
+}
+}  // namespace
+
+void write_mapped_sections(std::string const& path, mapped_header const& h,
+                           void const* rows, void const* blocks,
+                           void const* adj, void const* weights) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw graph_error("write_mapped_graph: cannot open '" + path +
+                      "' for writing");
+  out.write(reinterpret_cast<char const*>(&h),
+            static_cast<std::streamsize>(sizeof h));
+  pad_to_page(out);
+  auto const section = [&out](void const* data, std::uint64_t len) {
+    out.write(static_cast<char const*>(data),
+              static_cast<std::streamsize>(len));
+    pad_to_page(out);
+  };
+  section(rows, h.len_rows);
+  section(blocks, h.len_blocks);
+  section(adj, h.len_adj);
+  section(weights, h.len_weights);
+  out.flush();
+  if (!out)
+    throw graph_error("write_mapped_graph: write failed for '" + path + "'");
+}
+
+}  // namespace essentials::io::detail

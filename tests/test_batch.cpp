@@ -616,7 +616,7 @@ TEST(BatchEngine, StatsJsonExportsV3BatchCounters) {
   std::ostringstream os;
   eng::write_json(s, os);
   auto const json = os.str();
-  EXPECT_NE(json.find("\"engine_stats_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_stats_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"batches\":2"), std::string::npos);
   EXPECT_NE(json.find("\"batched_jobs\":12"), std::string::npos);
   EXPECT_NE(json.find("\"edge_passes_saved\":10"), std::string::npos);

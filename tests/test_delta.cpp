@@ -584,7 +584,7 @@ TEST(DeltaEngine, WarmSubmitIsBitIdenticalAndCounted) {
   std::ostringstream json;
   eng::write_json(s, json);
   EXPECT_NE(json.str().find("\"warm_start_hits\":1"), std::string::npos);
-  EXPECT_NE(json.str().find("\"engine_stats_version\":4"), std::string::npos);
+  EXPECT_NE(json.str().find("\"engine_stats_version\":5"), std::string::npos);
 }
 
 TEST(DeltaEngine, DeletionForcesFallbackStillExact) {

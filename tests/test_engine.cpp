@@ -875,7 +875,11 @@ TEST(EngineStatsSchema, GoldenKeyListAndVersion) {
       // v4 residual engine:
       "standing_queries", "residual_injections", "residual_reconverges",
       "residual_fallbacks", "residual_edges_touched",
-      "residual_edges_cold_estimate", "residual_pass_ratio",
+      "residual_edges_cold_estimate",
+      // v5 storage tier:
+      "tier_demotions", "tier_promotions", "tier_resident_bytes",
+      "tier_spilled_bytes",
+      "residual_pass_ratio",
       // derived + totals:
       "avg_batch_size", "hit_ratio", "warm_ratio", "queue_ms_total",
       "run_ms_total",
@@ -886,7 +890,7 @@ TEST(EngineStatsSchema, GoldenKeyListAndVersion) {
     ASSERT_NE(at, std::string::npos) << "missing or out-of-order key: " << key;
     pos = at + 1;
   }
-  EXPECT_NE(json.find("\"engine_stats_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_stats_version\":5"), std::string::npos);
 
   // Exactly the pinned keys — a new field must join the golden list.
   std::size_t keys = 0;

@@ -585,7 +585,7 @@ TEST(ResidualEngine, StatsSnapshotExposesV4Counters) {
   std::ostringstream os;
   eng::write_json(s, os);
   std::string const json = os.str();
-  EXPECT_NE(json.find("\"engine_stats_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_stats_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"standing_queries\":1"), std::string::npos);
   EXPECT_NE(json.find("\"residual_reconverges\":1"), std::string::npos);
 }
