@@ -22,6 +22,7 @@
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
+#include "core/operators/advance_balanced.hpp"
 #include "core/telemetry.hpp"
 #include "core/types.hpp"
 #include "mpsim/communicator.hpp"
@@ -83,7 +84,7 @@ bfs_result<typename G::vertex_type> bfs(P policy, G const& g,
       std::move(f),
       [&](frontier::sparse_frontier<V> in, std::size_t iteration) {
         V const next_depth = static_cast<V>(iteration + 1);
-        return operators::neighbors_expand(
+        return operators::advance_balanced(
             policy, g, in,
             [&visited, depths, parents, next_depth](
                 V const src, V const dst, E const /*e*/, W const /*w*/) {
@@ -234,7 +235,7 @@ bfs_result<typename G::vertex_type> bfs_direction_optimizing(
           [&visited](V v) { visited.set(static_cast<std::size_t>(v)); });
       frontier_size = dense.size();
     } else {
-      sparse = operators::neighbors_expand(
+      sparse = operators::advance_balanced(
           policy, g, sparse,
           [&visited, depths, parents, next_depth](V const src, V const dst,
                                                   E const, W const) {

@@ -35,6 +35,7 @@
 #include "core/execution.hpp"
 #include "core/frontier/frontier.hpp"
 #include "core/operators/advance.hpp"
+#include "core/operators/advance_balanced.hpp"
 #include "core/operators/filter.hpp"
 #include "core/telemetry.hpp"
 #include "core/types.hpp"
@@ -86,7 +87,7 @@ sssp_result<typename G::weight_type> sssp(P policy, G const& g,
         // relaxation improved its distance.  The atomic-load-source /
         // atomic-min-destination contract lives in algorithms/relax.hpp,
         // shared with delta-stepping and the residual engine.
-        auto out = operators::neighbors_expand(policy, g, in,
+        auto out = operators::advance_balanced(policy, g, in,
                                                make_relax_condition(dist));
         if constexpr (std::decay_t<P>::is_parallel)
           operators::uniquify(policy, out,

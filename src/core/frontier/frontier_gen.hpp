@@ -43,6 +43,7 @@
 #include "parallel/atomic_bitset.hpp"
 #include "parallel/for_each.hpp"
 #include "parallel/lane_buffers.hpp"
+#include "parallel/scan.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace essentials::frontier {

@@ -1,13 +1,15 @@
 #pragma once
 
 /// \file parallel/for_each.hpp
-/// \brief Bulk index-space primitives (for-each, reduce, scan) on the
-/// persistent thread pool.
+/// \brief Bulk index-space primitives (for-each, reduce) on the persistent
+/// thread pool.
 ///
 /// These are the raw building blocks the core operators compile down to.
 /// `parallel_for` is a BSP superstep (implicit barrier on return);
 /// `parallel_for_nowait` is its fire-and-forget sibling used by the
-/// `par_nosync` execution policy.
+/// `par_nosync` execution policy.  The prefix-sum primitives live in
+/// parallel/scan.hpp (included here so historical `for_each.hpp` users of
+/// `exclusive_scan` keep compiling).
 
 #include <cstddef>
 #include <functional>
@@ -15,6 +17,7 @@
 #include <numeric>
 #include <vector>
 
+#include "parallel/scan.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace essentials::parallel {
@@ -100,58 +103,6 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, MapF&& fn,
   return parallel_reduce(default_pool(), begin, end, identity,
                          std::forward<MapF>(fn),
                          std::forward<CombineF>(combine), grain);
-}
-
-/// Exclusive prefix sum of `in` into `out` (out[0] = 0); returns the grand
-/// total.  Two-pass blocked algorithm: per-chunk sums, serial scan of the
-/// (few) chunk totals, then a parallel downsweep.  This is the load-balance
-/// workhorse of CSR advance: scanning out-degrees yields each lane's output
-/// offsets without locks.
-template <typename InT, typename OutT>
-OutT exclusive_scan(thread_pool& pool, InT const* in, std::size_t n,
-                    OutT* out) {
-  if (n == 0)
-    return OutT{0};
-  // bulk_step is the pool's chunking contract: passing the step back in as
-  // the grain makes run_blocked reproduce exactly these chunk boundaries,
-  // so `lo / step` below is a stable, collision-free chunk index.
-  std::size_t const step = pool.bulk_step(n, 1);
-
-  std::vector<OutT> chunk_total((n + step - 1) / step, OutT{0});
-  pool.run_blocked(
-      n,
-      [&](std::size_t lo, std::size_t hi) {
-        OutT acc{0};
-        for (std::size_t i = lo; i < hi; ++i)
-          acc += static_cast<OutT>(in[i]);
-        chunk_total[lo / step] = acc;
-      },
-      step);
-
-  OutT running{0};
-  for (auto& t : chunk_total) {
-    OutT const next = running + t;
-    t = running;  // becomes the chunk's base offset
-    running = next;
-  }
-
-  pool.run_blocked(
-      n,
-      [&](std::size_t lo, std::size_t hi) {
-        OutT acc = chunk_total[lo / step];
-        for (std::size_t i = lo; i < hi; ++i) {
-          out[i] = acc;
-          acc += static_cast<OutT>(in[i]);
-        }
-      },
-      step);
-  return running;
-}
-
-/// exclusive_scan on the default pool.
-template <typename InT, typename OutT>
-OutT exclusive_scan(InT const* in, std::size_t n, OutT* out) {
-  return exclusive_scan(default_pool(), in, n, out);
 }
 
 }  // namespace essentials::parallel

@@ -659,3 +659,46 @@ TEST(LaneBuffers, ConcurrentLanesDoNotInterfere) {
   for (std::size_t i = 0; i < n; ++i)
     ASSERT_EQ(all[i], static_cast<int>(i));
 }
+
+TEST(ExclusiveScan, ScanMapMatchesMaterializedScan) {
+  p::thread_pool pool(4);
+  std::size_t const n = 5000;
+  std::vector<std::size_t> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = (i * 31) % 13;
+  std::vector<std::size_t> out_arr(n), out_map(n);
+  auto const t1 = p::exclusive_scan(pool, in.data(), n, out_arr.data());
+  auto const t2 = p::exclusive_scan_map(
+      pool, n, [&in](std::size_t i) { return in[i]; }, out_map.data());
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(out_arr, out_map);  // bit-identical: same blocked combine
+}
+
+TEST(ExclusiveScan, ScanMapEmptyAndSingle) {
+  p::thread_pool pool(2);
+  std::vector<long> out(1, -1);
+  EXPECT_EQ(p::exclusive_scan_map(
+                pool, 0, [](std::size_t) { return 9L; }, out.data()),
+            0L);
+  EXPECT_EQ(p::exclusive_scan_map(
+                pool, 1, [](std::size_t) { return 9L; }, out.data()),
+            9L);
+  EXPECT_EQ(out[0], 0L);
+}
+
+TEST(ExclusiveScan, DeterministicAcrossSubstratesForFixedWidth) {
+  // The blocked scan's per-chunk combine runs in chunk order on the
+  // coordinating thread: for one pool width the offsets are a pure
+  // function of (n, input), whichever queue substrate runs the sweeps.
+  std::size_t const n = 100000;
+  std::vector<std::size_t> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = (i * 7 + 3) % 97;
+  std::vector<std::size_t> a(n), b(n);
+  p::thread_pool stealing(8, p::queue_mode::stealing);
+  p::thread_pool central(8, p::queue_mode::central);
+  auto const ta = p::exclusive_scan(stealing, in.data(), n, a.data());
+  auto const tb = p::exclusive_scan(central, in.data(), n, b.data());
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a, b);
+}
